@@ -1,0 +1,102 @@
+(* The benchmark harness: regenerates every table and measured claim of
+   "Optimizing the Idle Task and Other MMU Tricks" (OSDI 1999).
+
+   The experiments themselves live in Mmu_tricks.Experiments (one
+   function per table/claim, structured results); this driver selects,
+   runs and prints them, then runs a bechamel micro-benchmark pass over
+   the simulator's hot paths.
+
+   Run everything:          dune exec bench/main.exe
+   Run some sections:       dune exec bench/main.exe -- T1 E6 ...
+   Skip the bechamel pass:  dune exec bench/main.exe -- --no-micro *)
+
+open Ppc
+module Kernel = Kernel_sim.Kernel
+module Policy = Kernel_sim.Policy
+module Mm = Kernel_sim.Mm
+module Experiments = Mmu_tricks.Experiments
+module Report = Mmu_tricks.Report
+
+let seed = 42
+
+(* ------------------------------------------------- bechamel micro-pass *)
+
+(* Micro-benchmarks of the simulator's own hot paths — one Test.make per
+   reproduced table — as sanity that the harness is not the bottleneck. *)
+let micro () =
+  Report.section "Bechamel micro-benchmarks of simulator hot paths";
+  let open Bechamel in
+  let mk_kernel () =
+    let k =
+      Kernel.boot ~machine:Machine.ppc604_185 ~policy:Policy.optimized ~seed ()
+    in
+    let t = Kernel.spawn k () in
+    Kernel.switch_to k t;
+    Kernel.user_run k ~instrs:2000;
+    k
+  in
+  let data_base = Mm.user_text_base + (16 lsl Addr.page_shift) in
+  let k1 = mk_kernel () in
+  Kernel.touch k1 Mmu.Store data_base;
+  let test_t1 =
+    Test.make ~name:"table1-unit: warm MMU access"
+      (Staged.stage (fun () -> Kernel.touch k1 Mmu.Load data_base))
+  in
+  let k2 = mk_kernel () in
+  let test_t2 =
+    Test.make ~name:"table2-unit: null syscall path"
+      (Staged.stage (fun () -> Kernel.sys_null k2))
+  in
+  let k3 = mk_kernel () in
+  let test_t3 =
+    Test.make ~name:"table3-unit: idle slice"
+      (Staged.stage (fun () -> Kernel.idle_slice k3))
+  in
+  let grouped =
+    Test.make_grouped ~name:"simulator" [ test_t1; test_t2; test_t3 ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.3) () in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0
+      ~predictors:[| Bechamel.Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name v ->
+      let est =
+        match Analyze.OLS.estimates v with
+        | Some (e :: _) -> Printf.sprintf "%.1f" e
+        | Some [] | None -> "n/a"
+      in
+      rows := [ name; est ] :: !rows)
+    results;
+  Report.table
+    ~header:[ "hot path"; "ns/run" ]
+    ~rows:(List.sort compare !rows)
+
+(* ---------------------------------------------------------------- main *)
+
+(* EX3: the §5.2 tuning-methodology sweep, via Mmu_tricks.Tuning. *)
+let ex3 ?(seed = 42) () =
+  Mmu_tricks.Tuning.to_table
+    (Mmu_tricks.Tuning.sweep ~seed Mmu_tricks.Tuning.default_candidates)
+
+let sections = Experiments.all @ [ ("EX3", ex3) ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let no_micro = List.mem "--no-micro" args in
+  let wanted = List.filter (fun a -> a <> "--no-micro") args in
+  let chosen =
+    if wanted = [] then sections
+    else List.filter (fun (name, _) -> List.mem name wanted) sections
+  in
+  print_endline
+    "Reproduction harness: Optimizing the Idle Task and Other MMU Tricks \
+     (OSDI 1999)";
+  List.iter (fun (_, f) -> Experiments.print (f ?seed:(Some seed) ())) chosen;
+  if (not no_micro) && wanted = [] then micro ();
+  print_newline ()

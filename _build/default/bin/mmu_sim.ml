@@ -1,0 +1,258 @@
+(* mmu_sim: command-line driver for the simulator.
+
+   Subcommands:
+     lmbench   run the LmBench-style suite on a machine/policy
+     kbuild    run the synthetic kernel compile and dump counters
+     table3    run the Table 3 OS comparison
+     policies  list the named policy presets
+     machines  list the machine descriptions *)
+
+open Ppc
+module Kernel = Kernel_sim.Kernel
+module Policy = Kernel_sim.Policy
+module Config = Mmu_tricks.Config
+module Metrics = Mmu_tricks.Metrics
+module Report = Mmu_tricks.Report
+module System = Mmu_tricks.System
+module Os_model = Mmu_tricks.Os_model
+module Lmbench = Workloads.Lmbench
+module Kbuild = Workloads.Kbuild
+module Experiments = Mmu_tricks.Experiments
+
+let machines =
+  [ ("601-80", Machine.ppc601_80);
+    ("603-133", Machine.ppc603_133);
+    ("603-180", Machine.ppc603_180);
+    ("604-133", Machine.ppc604_133);
+    ("604-185", Machine.ppc604_185);
+    ("604-200", Machine.ppc604_200);
+    ("750-233", Machine.ppc750_233) ]
+
+(* --- cmdliner terms --------------------------------------------------- *)
+
+open Cmdliner
+
+let machine_term =
+  Arg.(
+    value
+    & opt (enum machines) Machine.ppc604_185
+    & info [ "m"; "machine" ] ~docv:"MACHINE"
+        ~doc:"Machine model: 601-80, 603-133, 603-180, 604-133, 604-185, 604-200, 750-233.")
+
+let policy_term =
+  Arg.(
+    value
+    & opt (enum Config.all_named) Policy.optimized
+    & info [ "p"; "policy" ] ~docv:"POLICY"
+        ~doc:"Named policy preset (see $(b,mmu_sim policies)).")
+
+let seed_term =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+(* --- subcommands ------------------------------------------------------- *)
+
+let lmbench machine policy seed =
+  Format.printf "machine: %a@.policy:  %s@.@." Machine.pp machine
+    (Policy.describe policy);
+  let s = Lmbench.run ~machine ~policy ~seed () in
+  Report.table
+    ~header:[ "benchmark"; "value" ]
+    ~rows:
+      [ [ "null syscall (us)"; Report.fmt_us s.Lmbench.null_us ];
+        [ "context switch 2p (us)"; Report.fmt_us s.Lmbench.ctxsw2_us ];
+        [ "context switch 8p (us)"; Report.fmt_us s.Lmbench.ctxsw8_us ];
+        [ "pipe latency (us)"; Report.fmt_us s.Lmbench.pipe_lat_us ];
+        [ "pipe bandwidth (MB/s)"; Report.fmt_mbs s.Lmbench.pipe_bw_mbs ];
+        [ "file reread (MB/s)"; Report.fmt_mbs s.Lmbench.file_reread_mbs ];
+        [ "mmap latency (us)"; Report.fmt_us s.Lmbench.mmap_lat_us ];
+        [ "process start (ms)"; Report.fmt_ms s.Lmbench.pstart_ms ] ]
+
+let kbuild machine policy seed jobs =
+  Format.printf "machine: %a@.policy:  %s@.@." Machine.pp machine
+    (Policy.describe policy);
+  let params = { Kbuild.default_params with Kbuild.jobs } in
+  let r = Kbuild.measure ~machine ~policy ~params ~seed () in
+  let p = r.Kbuild.perf in
+  Report.table
+    ~header:[ "metric"; "value" ]
+    ~rows:
+      [ [ "wall clock (ms)"; Report.fmt_ms (r.Kbuild.wall_us /. 1000.) ];
+        [ "busy (ms)"; Report.fmt_ms (r.Kbuild.busy_us /. 1000.) ];
+        [ "idle fraction"; Report.fmt_pct (100. *. Metrics.idle_fraction p) ];
+        [ "TLB misses"; Report.fmt_int (Perf.tlb_misses p) ];
+        [ "TLB miss rate"; Printf.sprintf "%.4f%%" (100. *. Metrics.tlb_miss_rate p) ];
+        [ "htab hit rate"; Report.fmt_pct (100. *. Metrics.htab_hit_rate p) ];
+        [ "htab evict ratio"; Report.fmt_pct (100. *. Metrics.evict_ratio p) ];
+        [ "cache misses (I+D)"; Report.fmt_int (Perf.cache_misses p) ];
+        [ "page faults"; Report.fmt_int p.Perf.page_faults ];
+        [ "context switches"; Report.fmt_int p.Perf.context_switches ];
+        [ "syscalls"; Report.fmt_int p.Perf.syscalls ];
+        [ "zombies reclaimed"; Report.fmt_int p.Perf.zombies_reclaimed ];
+        [ "pre-zeroed page hits"; Report.fmt_int p.Perf.prezeroed_hits ] ]
+
+let multiuser machine policy seed rounds =
+  Format.printf "machine: %a@.policy:  %s@.@." Machine.pp machine
+    (Policy.describe policy);
+  let module Mu = Workloads.Multiuser in
+  let params = { Mu.default_params with Mu.rounds } in
+  let r = Mu.measure ~machine ~policy ~params ~seed () in
+  Report.table
+    ~header:[ "metric"; "value" ]
+    ~rows:
+      [ [ "busy (ms)"; Report.fmt_ms (r.Mu.busy_us /. 1000.) ];
+        [ "wall (ms)"; Report.fmt_ms (r.Mu.wall_us /. 1000.) ];
+        [ "keystroke latency (us)"; Report.fmt_us r.Mu.keystroke_us ];
+        [ "utility start (us)"; Report.fmt_us r.Mu.utility_us ];
+        [ "TLB misses"; Report.fmt_int (Perf.tlb_misses r.Mu.perf) ];
+        [ "htab hit rate";
+          Report.fmt_pct (100. *. Metrics.htab_hit_rate r.Mu.perf) ] ]
+
+let xserver machine policy seed =
+  Format.printf "machine: %a@.policy:  %s@.@." Machine.pp machine
+    (Policy.describe policy);
+  let module X = Workloads.Xserver in
+  let r = X.measure ~machine ~policy ~seed () in
+  Report.table
+    ~header:[ "metric"; "value" ]
+    ~rows:
+      [ [ "us per request"; Report.fmt_us r.X.us_per_round ];
+        [ "TLB misses"; Report.fmt_int (Perf.tlb_misses r.X.perf) ];
+        [ "page faults"; Report.fmt_int r.X.perf.Perf.page_faults ];
+        [ "cache misses"; Report.fmt_int (Perf.cache_misses r.X.perf) ] ]
+
+let table3 seed =
+  let rows =
+    List.map
+      (fun p ->
+        let m =
+          Os_model.measure_row ~machine:Os_model.table3_machine p ~seed ()
+        in
+        let pr = Os_model.paper_row p in
+        [ m.Os_model.r_name;
+          Printf.sprintf "%s/%s" (Report.fmt_us m.Os_model.null_us)
+            (Report.fmt_us pr.Os_model.null_us);
+          Printf.sprintf "%s/%s" (Report.fmt_us m.Os_model.ctxsw_us)
+            (Report.fmt_us pr.Os_model.ctxsw_us);
+          Printf.sprintf "%s/%s" (Report.fmt_us m.Os_model.pipe_lat_us)
+            (Report.fmt_us pr.Os_model.pipe_lat_us);
+          Printf.sprintf "%s/%s" (Report.fmt_mbs m.Os_model.pipe_bw_mbs)
+            (Report.fmt_mbs pr.Os_model.pipe_bw_mbs) ])
+      Os_model.all
+  in
+  Report.table
+    ~header:
+      [ "OS (measured/paper)"; "null us"; "ctxsw us"; "pipe lat us";
+        "pipe bw MB/s" ]
+    ~rows
+
+let experiment names seed csv =
+  let known = List.map fst Experiments.all in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name Experiments.all with
+      | Some f ->
+          let t = f ?seed:(Some seed) () in
+          if csv then print_string (Experiments.to_csv t)
+          else Experiments.print t
+      | None ->
+          Printf.eprintf "unknown experiment %S (known: %s)\n" name
+            (String.concat ", " known))
+    (if names = [] then known else names)
+
+let tune_vsid seed =
+  let scores =
+    Mmu_tricks.Tuning.sweep ~seed Mmu_tricks.Tuning.default_candidates
+  in
+  Experiments.print (Mmu_tricks.Tuning.to_table scores)
+
+let policies () =
+  Report.table
+    ~header:[ "name"; "flags" ]
+    ~rows:
+      (List.map
+         (fun (name, p) -> [ name; Policy.describe p ])
+         Config.all_named)
+
+let machines_cmd () =
+  Report.table
+    ~header:[ "name"; "description" ]
+    ~rows:
+      (List.map
+         (fun (name, m) -> [ name; Format.asprintf "%a" Machine.pp m ])
+         machines)
+
+(* --- wiring ------------------------------------------------------------ *)
+
+let lmbench_cmd =
+  Cmd.v
+    (Cmd.info "lmbench" ~doc:"Run the LmBench-style microbenchmark suite.")
+    Term.(const lmbench $ machine_term $ policy_term $ seed_term)
+
+let kbuild_cmd =
+  let jobs =
+    Arg.(
+      value & opt int 24
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Number of compile jobs.")
+  in
+  Cmd.v
+    (Cmd.info "kbuild" ~doc:"Run the synthetic kernel-compile workload.")
+    Term.(const kbuild $ machine_term $ policy_term $ seed_term $ jobs)
+
+let multiuser_cmd =
+  let rounds =
+    Arg.(
+      value & opt int 40
+      & info [ "rounds" ] ~docv:"N" ~doc:"Interleaving rounds.")
+  in
+  Cmd.v
+    (Cmd.info "multiuser" ~doc:"Run the multiuser development-day workload.")
+    Term.(const multiuser $ machine_term $ policy_term $ seed_term $ rounds)
+
+let xserver_cmd =
+  Cmd.v
+    (Cmd.info "xserver"
+       ~doc:"Run the display-server workload (frame-buffer BAT scenario).")
+    Term.(const xserver $ machine_term $ policy_term $ seed_term)
+
+let table3_cmd =
+  Cmd.v
+    (Cmd.info "table3" ~doc:"Reproduce the Table 3 OS comparison.")
+    Term.(const table3 $ seed_term)
+
+let tune_vsid_cmd =
+  Cmd.v
+    (Cmd.info "tune-vsid"
+       ~doc:"Sweep VSID scatter constants with the sec-5.2 histogram method.")
+    Term.(const tune_vsid $ seed_term)
+
+let experiment_cmd =
+  let names =
+    Arg.(value & pos_all string [] & info [] ~docv:"NAME"
+           ~doc:"Experiment ids (T1..T3, E1..E16, EX1, EX2); all if none.")
+  in
+  let csv =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.")
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Run reproduction experiments (tables printed with paper values).")
+    Term.(const experiment $ names $ seed_term $ csv)
+
+let policies_cmd =
+  Cmd.v
+    (Cmd.info "policies" ~doc:"List named policy presets.")
+    Term.(const policies $ const ())
+
+let machines_list_cmd =
+  Cmd.v
+    (Cmd.info "machines" ~doc:"List machine models.")
+    Term.(const machines_cmd $ const ())
+
+let () =
+  let doc = "PowerPC 603/604 MMU simulator (OSDI '99 MMU-tricks repro)" in
+  let info = Cmd.info "mmu_sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ lmbench_cmd; kbuild_cmd; multiuser_cmd; xserver_cmd; table3_cmd;
+            experiment_cmd; tune_vsid_cmd; policies_cmd; machines_list_cmd ]))

@@ -1,0 +1,1 @@
+examples/display_server.ml: Kernel_sim Machine Mmu_tricks Perf Ppc Workloads

@@ -1,0 +1,1 @@
+examples/display_server.mli:

@@ -1,0 +1,1 @@
+examples/flush_tuning.ml: Addr Cost Kernel_sim List Machine Mmu Mmu_tricks Ppc Printf Workloads

@@ -1,0 +1,1 @@
+examples/idle_tricks.ml: Addr Kernel_sim Machine Mmu Mmu_tricks Perf Ppc Printf Workloads

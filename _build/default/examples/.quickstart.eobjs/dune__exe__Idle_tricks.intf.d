@@ -1,0 +1,1 @@
+examples/idle_tricks.mli:

@@ -1,0 +1,1 @@
+examples/lmbench_tour.ml: Format Kernel_sim Mmu_tricks Ppc Printf Workloads

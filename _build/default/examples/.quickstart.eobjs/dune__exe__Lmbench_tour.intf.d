@@ -1,0 +1,1 @@
+examples/lmbench_tour.mli:

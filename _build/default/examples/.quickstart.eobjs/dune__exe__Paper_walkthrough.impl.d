@@ -1,0 +1,1 @@
+examples/paper_walkthrough.ml: Addr Kernel_sim Machine Mmu Mmu_tricks Perf Ppc Printf String Workloads

@@ -1,0 +1,1 @@
+examples/parallel_make.ml: Kernel_sim List Mmu_tricks Ppc Printf Workloads

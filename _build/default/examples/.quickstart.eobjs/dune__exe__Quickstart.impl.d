@@ -1,0 +1,1 @@
+examples/quickstart.ml: Addr Format Kernel_sim Machine Mmu Mmu_tricks Perf Ppc

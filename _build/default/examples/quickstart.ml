@@ -1,0 +1,43 @@
+(* Quickstart: boot a simulated PowerPC Linux system, run a process, and
+   look at what the MMU did.
+
+     dune exec examples/quickstart.exe *)
+
+open Ppc
+module Kernel = Kernel_sim.Kernel
+module Policy = Kernel_sim.Policy
+module Mm = Kernel_sim.Mm
+module System = Mmu_tricks.System
+
+let () =
+  (* A 185 MHz PowerPC 604 running the fully optimized kernel. *)
+  let machine = Machine.ppc604_185 in
+  let k = Kernel.boot ~machine ~policy:Policy.optimized ~seed:1 () in
+  Format.printf "booted: %a@." Machine.pp machine;
+  Format.printf "policy: %s@.@." (Policy.describe (Kernel.policy k));
+
+  (* Create a process and make it the running task. *)
+  let task = Kernel.spawn k ~text_pages:16 ~data_pages:32 ~stack_pages:8 () in
+  Kernel.switch_to k task;
+
+  (* Run some code and touch some data: every reference goes through
+     BATs, segment registers, the TLBs, the hashed page table and the
+     Linux page tables, with demand faults allocating real frames. *)
+  Kernel.user_run k ~instrs:20_000;
+  let data = Mm.user_text_base + (16 * Addr.page_size) in
+  for page = 0 to 31 do
+    Kernel.touch k Mmu.Store (data + (page * Addr.page_size))
+  done;
+
+  (* A few syscalls and an mmap/munmap cycle. *)
+  for _ = 1 to 10 do
+    Kernel.sys_null k
+  done;
+  let ea = Kernel.sys_mmap k ~pages:64 ~writable:true in
+  Kernel.touch k Mmu.Store ea;
+  Kernel.sys_munmap k ~ea ~pages:64;
+
+  (* What happened, in 604-hardware-monitor terms. *)
+  Format.printf "%a@.@." Perf.pp (Kernel.perf k);
+  Format.printf "%a@.@." System.pp_snapshot (System.snapshot k);
+  Format.printf "simulated wall clock: %.1f us@." (Kernel.us k)

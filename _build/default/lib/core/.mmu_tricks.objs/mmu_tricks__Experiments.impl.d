@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Addr Array Config Cost Kernel_sim List Machine Metrics Mmu Os_model Perf Ppc Printf Report Rng String System Workloads

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Cost Machine Perf Ppc

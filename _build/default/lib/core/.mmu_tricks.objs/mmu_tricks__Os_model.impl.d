@@ -1,0 +1,1 @@
+lib/core/os_model.ml: Addr Array Cost Kernel_sim Machine Memsys Mmu Perf Ppc System

@@ -1,0 +1,1 @@
+lib/core/os_model.mli: Kernel_sim Machine Ppc

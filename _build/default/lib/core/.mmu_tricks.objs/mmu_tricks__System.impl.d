@@ -1,0 +1,1 @@
+lib/core/system.ml: Format Htab Kernel_sim Mmu Perf Ppc Tlb

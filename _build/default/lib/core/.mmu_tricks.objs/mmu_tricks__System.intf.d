@@ -1,0 +1,1 @@
+lib/core/system.mli: Format Kernel_sim Machine Perf Ppc

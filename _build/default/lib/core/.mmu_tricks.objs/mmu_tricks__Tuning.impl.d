@@ -1,0 +1,1 @@
+lib/core/tuning.ml: Addr Array Config Experiments Kernel_sim List Machine Metrics Mmu Perf Ppc Report System Workloads

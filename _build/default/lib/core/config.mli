@@ -1,0 +1,90 @@
+(** Named configurations for every experiment in the paper.
+
+    Each optimization is one policy axis; the paper evaluates "the
+    original version without the optimizations ... versus only the
+    specific optimization being discussed" (§4), so most presets here are
+    either [baseline] plus one flag or [optimized] minus one flag. *)
+
+module Policy = Kernel_sim.Policy
+
+val baseline : Policy.t
+(** The unoptimized kernel (re-export of {!Policy.baseline}). *)
+
+val optimized : Policy.t
+(** The fully optimized kernel (re-export of {!Policy.optimized}). *)
+
+(** {1 Baseline plus one optimization (§5, §6.1)} *)
+
+val baseline_with_bat : Policy.t
+(** §5.1 / E1: baseline + BAT kernel mapping. *)
+
+val baseline_with_scatter : Policy.t
+(** §5.2 / E2: baseline + the tuned VSID multiplier. *)
+
+val baseline_with_fast_reload : Policy.t
+(** §6.1 / E3: baseline + hand-optimized miss handlers. *)
+
+val baseline_with_scatter_mult : int -> Policy.t
+(** §5.2: baseline with an arbitrary multiplier (used by the tuning
+    sweep). *)
+
+(** {1 Optimized minus one optimization (§6.2, §7, §8, §9)} *)
+
+val optimized_no_htab : Policy.t
+(** §6.2 / E4: the htab eliminated (603-style machines only). *)
+
+val optimized_precise_flush : Policy.t
+(** §7 / E5: optimized but with precise per-page flushing (PID VSIDs, no
+    lazy flush, no cutoff, no reclaim) — the left columns of Table 2. *)
+
+val optimized_no_reclaim : Policy.t
+(** §7 / E6: lazy flushing without the idle-task zombie reclaim. *)
+
+val optimized_with_cutoff : int option -> Policy.t
+(** §7 / E10: optimized with an explicit flush cutoff. *)
+
+val optimized_pt_uncached : Policy.t
+(** §8 / E8: optimized + cache-inhibited page-table and htab accesses. *)
+
+(** {1 Proposed / future-work features (§5.1, §10)} *)
+
+val optimized_fb_bat : Policy.t
+(** §5.1's proposal / E11: a per-process data BAT dedicated to the frame
+    buffer, switched on context switch. *)
+
+val optimized_idle_lock : Policy.t
+(** §10.1 / E12: lock both caches while the idle task runs. *)
+
+val optimized_preload : Policy.t
+(** §10.2 / E13: prefetch the incoming task's hot kernel lines during a
+    context switch. *)
+
+val second_chance_no_reclaim : Policy.t
+(** E16 ablation: can smarter (R-bit second-chance) htab replacement
+    substitute for the idle-task zombie reclaim?  Lazy flushing with
+    reclaim off and second-chance victim selection on. *)
+
+val zombie_aware_no_reclaim : Policy.t
+(** E16 ablation: the design §7 rejected — check VSID liveness during
+    the reload's eviction (paying the check in the hot path) instead of
+    reclaiming zombies from the idle task. *)
+
+(** {1 Idle-task page clearing (§9 / E7)} *)
+
+val clearing_off : Policy.t
+(** No idle clearing: get_free_page clears on demand (the control). *)
+
+val clearing_cached_list : Policy.t
+(** The failed first attempt: clear through the cache, keep the list. *)
+
+val clearing_uncached_nolist : Policy.t
+(** The second control: clear uncached, discard the work. *)
+
+val clearing_uncached_list : Policy.t
+(** The winning design: clear uncached, feed the pre-zeroed list. *)
+
+val all_named : (string * Policy.t) list
+(** Every preset with a CLI-friendly name. *)
+
+val find : string -> Policy.t option
+(** Look a preset up by name. *)

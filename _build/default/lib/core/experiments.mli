@@ -1,0 +1,110 @@
+(** The reproduction experiments as a library.
+
+    Every table and measured claim of the paper is a function here
+    returning a structured {!table} (title, header, rows, notes), so the
+    results can be consumed programmatically — the bench harness prints
+    them, tests probe them, and downstream users can rerun any experiment
+    against their own policies.
+
+    All experiments are deterministic in [seed] (default 42).  Each boots
+    its own kernel(s); expect hundreds of milliseconds to a few seconds
+    of real time per call (the kbuild-based ones are the slow ones). *)
+
+type table = {
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val print : table -> unit
+(** Render with {!Report.section}/{!Report.table}. *)
+
+val to_csv : table -> string
+(** The same table as CSV (header row first; cells quoted as needed). *)
+
+(** {1 The paper's tables} *)
+
+val table1 : ?seed:int -> unit -> table
+(** Table 1: LmBench summary for direct (no-htab) TLB reloads, with the
+    paper's values inline (measured/paper cells). *)
+
+val table2 : ?seed:int -> unit -> table
+(** Table 2: LmBench summary for tunable TLB range flushing. *)
+
+val table3 : ?seed:int -> unit -> table
+(** Table 3: the OS comparison (Linux/PPC optimized and unoptimized vs
+    the Rhapsody/MkLinux/AIX personalities). *)
+
+(** {1 In-text experiments} *)
+
+val e1 : ?seed:int -> unit -> table
+(** §5.1: BAT-mapping the kernel (TLB misses, htab misses, kernel TLB
+    share, compile time). *)
+
+val e2 : ?seed:int -> unit -> table
+(** §5.2: VSID scatter vs htab hot spots. *)
+
+val e3 : ?seed:int -> unit -> table
+(** §6.1: fast reload handlers (context switch, pipe latency idle and
+    loaded, user wall-clock). *)
+
+val e6 : ?seed:int -> unit -> table
+(** §7: idle-task zombie reclaim (evict ratio, occupancy, hit rate). *)
+
+val e7 : ?seed:int -> unit -> table
+(** §9: the four page-clearing designs. *)
+
+val e8 : ?seed:int -> unit -> table
+(** §8 ablation: cache-inhibited page-table references. *)
+
+val e10 : ?seed:int -> unit -> table
+(** §7: the range-flush cutoff sweep (the 20-page knee). *)
+
+(** {1 Proposals, future work and extras} *)
+
+val e11 : ?seed:int -> unit -> table
+(** §5.1 proposal, implemented: the per-process frame-buffer BAT. *)
+
+val e12 : ?seed:int -> unit -> table
+(** §10.1 future work: locking the caches during the idle task. *)
+
+val e13 : ?seed:int -> unit -> table
+(** §10.2 future work: context-switch cache preloads. *)
+
+val e14 : ?seed:int -> unit -> table
+(** §1's headline on the multiuser mix. *)
+
+val e15 : ?seed:int -> unit -> table
+(** §7's sizing remark: the hash-table size sweep. *)
+
+val e16 : ?seed:int -> unit -> table
+(** §7 ablation: replacement policies vs the idle reclaim. *)
+
+val ex1 : ?seed:int -> unit -> table
+(** Extra: LmBench across all modeled processors (601 through 750). *)
+
+val ex2 : ?seed:int -> unit -> table
+(** Extra: parallel make under the scheduler (I/O overlap vs -jN). *)
+
+val ex4 : ?seed:int -> unit -> table
+(** Extra: lat_ctx's working-set sweep — context-switch cost vs the
+    footprint each process re-touches, on a 603 (128-entry TLB) and a
+    604 (256), showing where TLB reach runs out. *)
+
+val ex5 : ?seed:int -> unit -> table
+(** Extra: the §10 methodology itself — the optimization ladder applied
+    one step at a time on the multiuser mix, cumulative gains shown
+    (and, as the paper warns, the steps do not sum). *)
+
+val ex6 : ?seed:int -> unit -> table
+(** Extra: the §4 methodology — key conclusions re-measured across five
+    seeds (the simulation's analogue of the paper's 10+ averaged runs),
+    reported as min/mean/max. *)
+
+val ex7 : ?seed:int -> unit -> table
+(** Extra: keystroke wake-to-done latency while a compile runs — the
+    interactive-feel measurement, unoptimized vs optimized kernels. *)
+
+val all : (string * (?seed:int -> unit -> table)) list
+(** Every experiment keyed by its bench-section name ("T1".."EX2"). *)

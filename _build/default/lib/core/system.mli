@@ -1,0 +1,34 @@
+(** Convenience layer: boot a configured system, measure regions, snapshot
+    MMU state.
+
+    [Kernel_sim.Kernel] is the full API; this module packages the
+    boot-measure-snapshot cycle every experiment repeats. *)
+
+open Ppc
+module Kernel = Kernel_sim.Kernel
+module Policy = Kernel_sim.Policy
+
+val boot : machine:Machine.t -> policy:Policy.t -> ?seed:int -> unit -> Kernel.t
+(** Boot a system (alias of {!Kernel.boot}). *)
+
+val measure : Kernel.t -> (unit -> 'a) -> 'a * Perf.t
+(** [measure k f] runs [f] and returns its result with the counter deltas
+    it caused. *)
+
+(** A point-in-time picture of the MMU structures. *)
+type snapshot = {
+  tlb_valid : int;          (** valid TLB entries, I + D *)
+  tlb_capacity : int;
+  kernel_tlb : int;         (** TLB entries holding kernel translations *)
+  htab_valid : int;         (** valid htab PTEs (live + zombie) *)
+  htab_live : int;
+  htab_zombie : int;
+  htab_capacity : int;
+  htab_histogram : int array;  (** PTEGs by valid-entry count (0..8) *)
+  prezeroed_pages : int;
+  free_frames : int;
+}
+
+val snapshot : Kernel.t -> snapshot
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -1,0 +1,50 @@
+(** The VSID-multiplier tuning methodology of §5.2.
+
+    "We tuned the VSID generation algorithm by making Linux keep a hash
+    table miss histogram and adjusting the constant until hot-spots
+    disappeared."  This module is that tool: score a multiplier by the
+    hot-spot structure it produces on a canonical multiprogrammed
+    workload, sweep candidate constants, and report the ranking — the
+    process that ended, historically, at 897.
+
+    Scores derive from {!Ppc.Htab.histogram}: a {e hot spot} is a full
+    PTEG (8/8 valid), since only full primary+overflow groups force
+    evictions.  Lower is better. *)
+
+type score = {
+  multiplier : int;
+  full_ptegs : int;      (** PTEGs at 8/8 — the hot-spot count *)
+  evictions : int;       (** overflow evictions the workload suffered *)
+  occupancy_pct : float; (** htab use achieved *)
+  hit_rate : float;      (** htab hit rate on TLB misses *)
+}
+
+val score_multiplier :
+  ?machine:Ppc.Machine.t ->
+  ?procs:int ->
+  ?pages:int ->
+  ?seed:int ->
+  int ->
+  score
+(** Boot a baseline kernel whose only varied policy is the VSID
+    multiplier, run [procs] identical-layout processes over
+    [pages]-page working sets (defaults 20 x 320 on the 604/185, the
+    E2 configuration), and collect the histogram-derived score. *)
+
+val sweep :
+  ?machine:Ppc.Machine.t ->
+  ?procs:int ->
+  ?pages:int ->
+  ?seed:int ->
+  int list ->
+  score list
+(** Score each candidate, returned best (fewest full PTEGs, then fewest
+    evictions) first. *)
+
+val default_candidates : int list
+(** The constants someone would plausibly try: small primes and odd
+    composites, the powers of two that look tempting and fail, and the
+    historical 897. *)
+
+val to_table : score list -> Experiments.table
+(** Render a sweep as a printable table. *)

@@ -1,0 +1,1 @@
+lib/kernel_sim/kernel.ml: Addr Array Bat Cache Cost Hashtbl Htab Kparams List Machine Memsys Mm Mmu Pagepool Pagetable Perf Physmem Pipe Policy Ppc Pte Rng Segment Task Vfs Vsid_alloc

@@ -1,0 +1,1 @@
+lib/kernel_sim/kernel.mli: Addr Machine Memsys Mm Mmu Pagepool Perf Physmem Pipe Policy Ppc Rng Task Vfs Vsid_alloc

@@ -1,0 +1,1 @@
+lib/kernel_sim/kparams.ml: Addr Ppc

@@ -1,0 +1,1 @@
+lib/kernel_sim/kparams.mli: Addr Ppc

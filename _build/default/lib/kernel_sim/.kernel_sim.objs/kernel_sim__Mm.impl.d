@@ -1,0 +1,1 @@
+lib/kernel_sim/mm.ml: Addr Kparams List Pagetable Ppc Vfs Vsid_alloc

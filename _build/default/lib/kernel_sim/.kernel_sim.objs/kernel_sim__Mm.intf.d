@@ -1,0 +1,1 @@
+lib/kernel_sim/mm.mli: Addr Pagetable Physmem Ppc Vfs Vsid_alloc

@@ -1,0 +1,1 @@
+lib/kernel_sim/pagepool.ml: Addr Cache Kparams Memsys Perf Physmem Policy Ppc Queue

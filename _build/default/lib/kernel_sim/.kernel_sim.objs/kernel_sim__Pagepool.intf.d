@@ -1,0 +1,1 @@
+lib/kernel_sim/pagepool.mli: Physmem Policy Ppc

@@ -1,0 +1,1 @@
+lib/kernel_sim/pagetable.ml: Addr Array Physmem Ppc

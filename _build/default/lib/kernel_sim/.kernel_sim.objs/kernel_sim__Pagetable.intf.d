@@ -1,0 +1,1 @@
+lib/kernel_sim/pagetable.mli: Addr Physmem Ppc

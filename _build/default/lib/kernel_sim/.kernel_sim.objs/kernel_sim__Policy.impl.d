@@ -1,0 +1,1 @@
+lib/kernel_sim/policy.ml: Ppc Printf String Vsid_alloc

@@ -1,0 +1,1 @@
+lib/kernel_sim/policy.mli: Ppc Vsid_alloc

@@ -1,0 +1,1 @@
+lib/kernel_sim/sched.ml: Kernel List Task

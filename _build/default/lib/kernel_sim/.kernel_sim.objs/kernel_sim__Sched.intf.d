@@ -1,0 +1,1 @@
+lib/kernel_sim/sched.mli: Kernel Task

@@ -1,0 +1,1 @@
+lib/kernel_sim/task.ml: Addr Kparams Mm Ppc

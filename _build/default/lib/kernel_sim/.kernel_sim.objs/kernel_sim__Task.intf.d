@@ -1,0 +1,1 @@
+lib/kernel_sim/task.mli: Addr Mm Ppc

@@ -1,0 +1,1 @@
+lib/kernel_sim/vsid_alloc.mli:

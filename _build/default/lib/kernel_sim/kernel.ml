@@ -1,0 +1,841 @@
+open Ppc
+
+exception Segfault of Addr.ea
+exception Kernel_fault of Addr.ea
+
+(* internal: a COW break serviced the fault; retry the access *)
+exception Cow_broken
+
+type t = {
+  k_machine : Machine.t;
+  k_policy : Policy.t;
+  k_perf : Perf.t;
+  k_memsys : Memsys.t;
+  k_mmu : Mmu.t;
+  k_physmem : Physmem.t;
+  k_vsid : Vsid_alloc.t;
+  k_pagepool : Pagepool.t;
+  k_vfs : Vfs.t;
+  k_rng : Rng.t;
+  kernel_pt : Pagetable.t;
+  mutable k_tasks : Task.t list;
+  mutable k_current : Task.t option;
+  mutable next_pid : int;
+  mutable next_pipe : int;
+  mutable idle_count : int;
+  mutable next_tick : int;
+  (* frames shared copy-on-write between address spaces: rpn -> number of
+     referencing address spaces (absent = exclusively owned) *)
+  cow_refs : (int, int) Hashtbl.t;
+}
+
+let disk_wait_cycles = 25_000
+
+(* --- accessors -------------------------------------------------------- *)
+
+let machine t = t.k_machine
+let policy t = t.k_policy
+let perf t = t.k_perf
+let memsys t = t.k_memsys
+let mmu t = t.k_mmu
+let physmem t = t.k_physmem
+let vsid_alloc t = t.k_vsid
+let pagepool t = t.k_pagepool
+let vfs t = t.k_vfs
+let rng t = t.k_rng
+let cycles t = t.k_perf.Perf.cycles
+let us t = Cost.us_of_cycles ~mhz:t.k_machine.Machine.mhz (cycles t)
+let tasks t = t.k_tasks
+let current t = t.k_current
+
+(* --- boot ------------------------------------------------------------- *)
+
+let lazy_flush_available t =
+  t.k_policy.Policy.lazy_flush
+  && Vsid_alloc.source t.k_vsid = Vsid_alloc.Context_counter
+
+let boot ~machine ~policy ?(seed = 42) () =
+  let perf = Perf.create () in
+  let memsys = Memsys.create ~machine ~perf in
+  let rng = Rng.create ~seed in
+  (* the MMU's eviction choices draw from their own stream so that two
+     policies compared at the same seed see byte-identical workloads *)
+  let mmu_rng = Rng.create ~seed:(seed lxor 0x5DEECE66D) in
+  let physmem =
+    Physmem.create ~ram_bytes:machine.Machine.ram_bytes
+      ~reserved_bytes:Kparams.reserved_bytes
+  in
+  let vsid =
+    Vsid_alloc.create ~source:policy.Policy.vsid_source
+      ~multiplier:policy.Policy.vsid_multiplier
+  in
+  (* Kernel context structure sits at the head of kernel data. *)
+  let kernel_pt =
+    Pagetable.create ~physmem ~ctx_pa:(Kparams.data_pa + 0x80)
+  in
+  let dummy_backing = { Mmu.walk = (fun _ -> Mmu.Unmapped { pt_refs = [||] }) } in
+  let mmu =
+    Mmu.create ~htab_base_pa:Kparams.htab_pa ~machine ~memsys
+      ~knobs:(Policy.mmu_knobs policy) ~backing:dummy_backing ~rng:mmu_rng ()
+  in
+  let t =
+    { k_machine = machine;
+      k_policy = policy;
+      k_perf = perf;
+      k_memsys = memsys;
+      k_mmu = mmu;
+      k_physmem = physmem;
+      k_vsid = vsid;
+      k_pagepool =
+        Pagepool.create ~physmem ~memsys ~clearing:policy.Policy.idle_clearing
+          ~use_list:policy.Policy.idle_clear_list ();
+      k_vfs = Vfs.create ~physmem;
+      k_rng = rng;
+      kernel_pt;
+      k_tasks = [];
+      k_current = None;
+      next_pid = 1;
+      next_pipe = 0;
+      idle_count = 0;
+      next_tick = Kparams.timer_tick_cycles;
+      cow_refs = Hashtbl.create 64 }
+  in
+  (* Linear kernel map: every RAM frame is visible at
+     [kernel_base + physical].  With the BAT optimization one block
+     register covers it all and the pages never enter TLB or htab;
+     without it, kernel references page-fault through these PTEs like any
+     others — the 33%-of-the-TLB footprint of §5.1. *)
+  let frames = Physmem.total_frames physmem in
+  for rpn = 0 to frames - 1 do
+    Pagetable.map kernel_pt ~physmem
+      ~ea:(Kparams.kernel_virt_of_phys (rpn lsl Addr.page_shift))
+      { Pagetable.rpn; writable = true; inhibited = false; shared = false;
+        cow = false }
+  done;
+  if policy.Policy.bat_kernel_mapping then begin
+    (* BAT blocks are power-of-two sized; round an odd RAM size up (the
+       excess maps nothing the workloads can reach) *)
+    let rec pow2 n = if n >= machine.Machine.ram_bytes then n else pow2 (n * 2) in
+    let length = max Bat.min_block (pow2 Bat.min_block) in
+    Bat.set (Mmu.ibat mmu) ~index:0 ~base_ea:Kparams.kernel_base ~length
+      ~phys_base:0;
+    Bat.set (Mmu.dbat mmu) ~index:0 ~base_ea:Kparams.kernel_base ~length
+      ~phys_base:0
+  end;
+  if policy.Policy.bat_io_mapping then
+    (* I/O space: present for fidelity; no benchmark touches it, matching
+       the paper's finding that it does not matter. *)
+    Bat.set (Mmu.dbat mmu) ~index:1 ~base_ea:0xF0000000 ~length:(128 * 1024)
+      ~phys_base:0x10000000;
+  (* Kernel segment registers hold fixed VSIDs, loaded once. *)
+  Segment.load_kernel (Mmu.segments mmu) (fun sr -> Vsid_alloc.kernel_vsid ~sr);
+  (* The MMU resolves kernel EAs against the linear map and user EAs
+     against the current task. *)
+  let walk ea =
+    let pt =
+      if Segment.is_kernel_ea ea then Some t.kernel_pt
+      else
+        match t.k_current with
+        | None -> None
+        | Some task -> Some (Mm.pagetable task.Task.mm)
+    in
+    match pt with
+    | None -> Mmu.Unmapped { pt_refs = [||] }
+    | Some pt -> begin
+        match Pagetable.walk pt ~ea with
+        | None, refs -> Mmu.Unmapped { pt_refs = refs }
+        | Some e, refs ->
+            Mmu.Mapped
+              { rpn = e.Pagetable.rpn;
+                wimg =
+                  (if e.Pagetable.inhibited then Pte.wimg_uncached
+                   else Pte.wimg_default);
+                protection =
+                  (if e.Pagetable.writable then Pte.Read_write
+                   else Pte.Read_only);
+                pt_refs = refs }
+      end
+  in
+  Mmu.set_backing mmu { Mmu.walk };
+  Mmu.set_vsid_is_zombie mmu (Vsid_alloc.is_zombie vsid);
+  t
+
+(* --- kernel path execution ------------------------------------------- *)
+
+(* A kernel access must always resolve; the linear map covers all RAM. *)
+let kaccess t kind ea =
+  match Mmu.access t.k_mmu kind ea with
+  | Mmu.Ok _ -> ()
+  | Mmu.Fault -> raise (Kernel_fault ea)
+
+(* Run a kernel code path: [instrs] cycles of instructions with one
+   I-fetch per 8 instructions from the path's text region, plus the given
+   kernel data references.  Long paths loop (register save/restore,
+   copy loops), so their static text footprint is bounded: fetches cycle
+   within at most [max_path_lines] distinct lines. *)
+let max_path_lines = 48 (* 1.5 KB of text per kernel path *)
+
+let run_path t ~off ~instrs ~data =
+  let code_ea = Kparams.kernel_virt_of_phys (Kparams.text_pa + off) in
+  Memsys.instructions t.k_memsys instrs;
+  let lines = max 1 (instrs / 8) in
+  let distinct = min lines max_path_lines in
+  for i = 0 to lines - 1 do
+    kaccess t Mmu.Fetch (code_ea + (i mod distinct * Addr.line_size))
+  done;
+  List.iter
+    (fun (write, ea) ->
+      kaccess t (if write then Mmu.Store else Mmu.Load) ea)
+    data
+
+let current_task_refs t =
+  match t.k_current with
+  | None -> [ (false, Kparams.runqueue_ea) ]
+  | Some task ->
+      [ (false, Kparams.runqueue_ea);
+        (false, Task.task_struct_ea task);
+        (true, Task.kstack_ea task) ]
+
+(* Stack save/restore traffic of the original C entry paths. *)
+let stack_refs t n =
+  match t.k_current with
+  | None -> []
+  | Some task ->
+      List.init n (fun i ->
+          (true, Task.kstack_ea task + (i * Addr.line_size mod 1024)))
+
+(* set once timer_tick is defined below; syscall entry is where the
+   kernel notices a pending tick *)
+let tick_hook : (t -> unit) ref = ref (fun _ -> ())
+
+let syscall_entry t =
+  !tick_hook t;
+  t.k_perf.Perf.syscalls <- t.k_perf.Perf.syscalls + 1;
+  let fast = t.k_policy.Policy.fast_paths in
+  let instrs =
+    if fast then Kparams.syscall_fast else Kparams.syscall_slow
+  in
+  let extra =
+    if fast then [] else stack_refs t Kparams.syscall_slow_stack_refs
+  in
+  run_path t ~off:Kparams.off_syscall ~instrs
+    ~data:(current_task_refs t @ extra)
+
+(* --- flushing --------------------------------------------------------- *)
+
+let vsid_of_ea t ~mm ea =
+  Vsid_alloc.vsid t.k_vsid ~ctx:(Mm.ctx mm) ~sr:(Addr.sr_index ea)
+
+let load_user_segments t mm =
+  Memsys.stall t.k_memsys Kparams.segment_load_cycles;
+  Segment.load_user (Mmu.segments t.k_mmu) (fun sr ->
+      Mm.vsid_for_sr mm ~vsid_alloc:t.k_vsid sr)
+
+let context_reset t ~mm =
+  t.k_perf.Perf.flush_context_resets <-
+    t.k_perf.Perf.flush_context_resets + 1;
+  let fresh =
+    Vsid_alloc.renew_context t.k_vsid ~old_ctx:(Mm.ctx mm) ~pid:(Mm.pid mm)
+  in
+  Mm.set_ctx mm fresh;
+  Memsys.instructions t.k_memsys 40;
+  (* If this is the running address space the hardware registers must be
+     updated too. *)
+  match t.k_current with
+  | Some task when task.Task.mm == mm -> load_user_segments t mm
+  | Some _ | None -> ()
+
+let precise_flush_range t ~mm ~ea ~pages =
+  for i = 0 to pages - 1 do
+    let pea = ea + (i lsl Addr.page_shift) in
+    Mmu.flush_page_for_vsid t.k_mmu ~vsid:(vsid_of_ea t ~mm pea) pea
+  done
+
+let flush_range t ~mm ~ea ~pages =
+  match t.k_policy.Policy.flush_cutoff with
+  | Some cutoff when lazy_flush_available t && pages > cutoff ->
+      context_reset t ~mm
+  | Some _ | None -> precise_flush_range t ~mm ~ea ~pages
+
+let flush_whole_mm t ~mm =
+  if lazy_flush_available t then context_reset t ~mm
+  else
+    Pagetable.iter (Mm.pagetable mm) (fun ea _entry ->
+        Mmu.flush_page_for_vsid t.k_mmu ~vsid:(vsid_of_ea t ~mm ea) ea)
+
+(* --- processes -------------------------------------------------------- *)
+
+let standard_vmas ~text_pages ~data_pages ~stack_pages =
+  [ { Mm.va_start = Mm.user_text_base; va_pages = text_pages;
+      va_writable = false; va_backing = Mm.Anonymous };
+    { Mm.va_start =
+        Mm.user_text_base + (text_pages lsl Addr.page_shift);
+      va_pages = data_pages;
+      va_writable = true;
+      va_backing = Mm.Anonymous };
+    { Mm.va_start = Mm.user_stack_top - (stack_pages lsl Addr.page_shift);
+      va_pages = stack_pages;
+      va_writable = true;
+      va_backing = Mm.Anonymous } ]
+
+let spawn t ?(text_pages = 16) ?(data_pages = 16) ?(stack_pages = 8) () =
+  let pid = t.next_pid in
+  t.next_pid <- t.next_pid + 1;
+  let mm = Mm.create ~physmem:t.k_physmem ~vsid_alloc:t.k_vsid ~pid in
+  List.iter (Mm.add_vma mm) (standard_vmas ~text_pages ~data_pages ~stack_pages);
+  let task = Task.create ~pid ~mm in
+  t.k_tasks <- task :: t.k_tasks;
+  task
+
+(* The frame-buffer aperture lives outside RAM in physical space. *)
+let framebuffer_phys_base = 0x0800_0000
+let framebuffer_rpn = framebuffer_phys_base lsr Addr.page_shift
+let framebuffer_bat_index = 2
+
+let switch_to t task =
+  t.k_perf.Perf.context_switches <- t.k_perf.Perf.context_switches + 1;
+  let fast = t.k_policy.Policy.fast_paths in
+  let instrs = if fast then Kparams.switch_fast else Kparams.switch_slow in
+  let extra =
+    if fast then [] else stack_refs t Kparams.switch_slow_stack_refs
+  in
+  let data =
+    (false, Kparams.runqueue_ea)
+    :: (false, Task.task_struct_ea task)
+    :: (true, Task.kstack_ea task)
+    :: ((match t.k_current with
+        | Some old -> [ (true, Task.task_struct_ea old) ]
+        | None -> [])
+       @ extra)
+  in
+  run_path t ~off:Kparams.off_sched ~instrs ~data;
+  load_user_segments t task.Task.mm;
+  (* §5.1's proposal: the frame-buffer BAT belongs to the process and is
+     switched with it. *)
+  if t.k_policy.Policy.bat_framebuffer then begin
+    if task.Task.maps_framebuffer then
+      Bat.set (Mmu.dbat t.k_mmu) ~index:framebuffer_bat_index
+        ~base_ea:Mm.framebuffer_base ~length:(4 * 1024 * 1024)
+        ~phys_base:framebuffer_phys_base
+    else Bat.clear (Mmu.dbat t.k_mmu) ~index:framebuffer_bat_index
+  end;
+  (* §10.2: prefetch the incoming task's hot kernel lines while the
+     switch completes. *)
+  if t.k_policy.Policy.cache_preload then begin
+    let m = t.k_memsys in
+    let ts = Kparams.kernel_phys_of_virt (Task.task_struct_ea task) in
+    let ks = Kparams.kernel_phys_of_virt (Task.kstack_ea task) in
+    for i = 0 to 1 do
+      Memsys.prefetch m ~source:Cache.Kernel (ts + (i * Addr.line_size))
+    done;
+    for i = 0 to 3 do
+      Memsys.prefetch m ~source:Cache.Kernel (ks + (i * Addr.line_size))
+    done
+  end;
+  task.Task.state <- Task.Ready;
+  t.k_current <- Some task
+
+let require_current t =
+  match t.k_current with
+  | Some task -> task
+  | None -> invalid_arg "Kernel: no current task"
+
+(* The frame-buffer BAT belongs to the mapping: dropping the mapping
+   must drop the register too, or stale translations outlive munmap. *)
+let drop_framebuffer t task =
+  if task.Task.maps_framebuffer then begin
+    task.Task.maps_framebuffer <- false;
+    if t.k_policy.Policy.bat_framebuffer then
+      Bat.clear (Mmu.dbat t.k_mmu) ~index:framebuffer_bat_index
+  end
+
+let sys_map_framebuffer t ~pages =
+  syscall_entry t;
+  let task = require_current t in
+  let mm = task.Task.mm in
+  run_path t ~off:Kparams.off_mm
+    ~instrs:(Kparams.mmap_base_cost + (pages * Kparams.mmap_per_page))
+    ~data:(current_task_refs t);
+  let ea = Mm.framebuffer_base in
+  Mm.add_vma mm
+    { Mm.va_start = ea; va_pages = pages; va_writable = true;
+      va_backing = Mm.Phys_window framebuffer_rpn };
+  task.Task.maps_framebuffer <- true;
+  if t.k_policy.Policy.bat_framebuffer then
+    Bat.set (Mmu.dbat t.k_mmu) ~index:framebuffer_bat_index ~base_ea:ea
+      ~length:(4 * 1024 * 1024) ~phys_base:framebuffer_phys_base;
+  ea
+
+let timer_tick t =
+  t.next_tick <- t.k_perf.Perf.cycles + Kparams.timer_tick_cycles;
+  let fast = t.k_policy.Policy.fast_paths in
+  let instrs = if fast then Kparams.tick_fast else Kparams.tick_slow in
+  let extra =
+    if fast then [] else stack_refs t Kparams.tick_slow_stack_refs
+  in
+  run_path t ~off:Kparams.off_sched ~instrs
+    ~data:(current_task_refs t @ extra);
+  if t.k_policy.Policy.cache_preload then
+    match t.k_current with
+    | None -> ()
+    | Some task ->
+        let ts = Kparams.kernel_phys_of_virt (Task.task_struct_ea task) in
+        for i = 0 to 1 do
+          Memsys.prefetch t.k_memsys ~source:Cache.Kernel
+            (ts + (i * Addr.line_size))
+        done
+
+(* The clock ticks no matter what the workload is doing; checked at the
+   operation boundaries (syscalls, user references, idle turns). *)
+let maybe_tick t =
+  if t.k_perf.Perf.cycles >= t.next_tick then timer_tick t
+
+let () = tick_hook := maybe_tick
+
+(* --- idle task -------------------------------------------------------- *)
+
+(* One turn around the idle loop.  The loop itself polls the scheduler
+   (a few dozen instructions); every [idle_reclaim_interval]-th turn
+   scans a chunk of the htab for zombie PTEs (§7) — throttled so a sweep
+   of the whole table takes many idle windows, as a background scavenger
+   should — and otherwise one free page is cleared if clearing is
+   configured (§9). *)
+let idle_slice t =
+  maybe_tick t;
+  Memsys.set_idle t.k_memsys true;
+  if t.k_policy.Policy.idle_cache_lock then
+    Memsys.set_cache_locked t.k_memsys true;
+  Memsys.instructions t.k_memsys Kparams.idle_loop_slice;
+  t.idle_count <- t.idle_count + 1;
+  if
+    t.k_policy.Policy.idle_zombie_reclaim
+    && t.idle_count mod Kparams.idle_reclaim_interval = 0
+  then
+    ignore
+      (Mmu.reclaim_zombies t.k_mmu ~max_ptes:Kparams.idle_reclaim_chunk : int)
+  else ignore (Pagepool.idle_clear_one t.k_pagepool : bool);
+  if t.k_policy.Policy.idle_cache_lock then
+    Memsys.set_cache_locked t.k_memsys false;
+  Memsys.set_idle t.k_memsys false
+
+let idle_for t ~cycles:n =
+  let target = cycles t + n in
+  while cycles t < target do
+    idle_slice t
+  done
+
+(* Release one mapping's frame: page-cache/device frames are not ours;
+   a copy-on-write frame is freed only by its last referent. *)
+let release_frame t (entry : Pagetable.entry) =
+  if not entry.Pagetable.shared then begin
+    match Hashtbl.find_opt t.cow_refs entry.Pagetable.rpn with
+    | Some n when n > 2 -> Hashtbl.replace t.cow_refs entry.Pagetable.rpn (n - 1)
+    | Some _ -> Hashtbl.remove t.cow_refs entry.Pagetable.rpn
+    | None -> Pagepool.free_page t.k_pagepool entry.Pagetable.rpn
+  end
+
+(* --- faults and user execution --------------------------------------- *)
+
+let charge_pt_update t pt ~ea =
+  let _entry, refs = Pagetable.walk pt ~ea in
+  Array.iter
+    (fun pa ->
+      Memsys.data_ref t.k_memsys ~source:Cache.Page_table
+        ~inhibited:t.k_policy.Policy.cache_inhibit_pagetables ~write:true pa)
+    refs
+
+let handle_user_fault t kind ea =
+  let task = require_current t in
+  t.k_perf.Perf.page_faults <- t.k_perf.Perf.page_faults + 1;
+  run_path t ~off:Kparams.off_fault ~instrs:Kparams.fault_service
+    ~data:(current_task_refs t);
+  let mm = task.Task.mm in
+  match Mm.find_vma mm ea with
+  | None -> raise (Segfault ea)
+  | Some vma ->
+      if kind = Mmu.Store && not vma.Mm.va_writable then raise (Segfault ea);
+      let pt = Mm.pagetable mm in
+      (match Pagetable.find pt ~ea with
+      | Some entry
+        when entry.Pagetable.cow && kind = Mmu.Store
+             && vma.Mm.va_writable -> begin
+          (* Copy-on-write break: give this address space its own frame
+             (or reclaim exclusivity if everyone else is gone). *)
+          let upgraded =
+            match Hashtbl.find_opt t.cow_refs entry.Pagetable.rpn with
+            | Some n -> begin
+                match Pagepool.get_page t.k_pagepool with
+                | None -> raise Pagetable.Out_of_frames
+                | Some rpn ->
+                    Memsys.copy_lines t.k_memsys ~source:Cache.Kernel
+                      ~src:(entry.Pagetable.rpn lsl Addr.page_shift)
+                      ~dst:(rpn lsl Addr.page_shift) ~bytes:Addr.page_size;
+                    if n > 2 then
+                      Hashtbl.replace t.cow_refs entry.Pagetable.rpn (n - 1)
+                    else Hashtbl.remove t.cow_refs entry.Pagetable.rpn;
+                    { entry with Pagetable.rpn; writable = true; cow = false }
+              end
+            | None ->
+                (* sole surviving referent: upgrade in place *)
+                { entry with Pagetable.writable = true; cow = false }
+          in
+          Pagetable.map pt ~physmem:t.k_physmem ~ea upgraded;
+          charge_pt_update t pt ~ea;
+          (* the stale read-only translation must die before the retry *)
+          Mmu.flush_page_for_vsid t.k_mmu
+            ~vsid:(vsid_of_ea t ~mm ea)
+            ea;
+          raise Cow_broken
+        end
+      | Some _ ->
+          (* Translation exists but faulted anyway: a protection error. *)
+          raise (Segfault ea)
+      | None -> ());
+      let rpn, shared =
+        match vma.Mm.va_backing with
+        | Mm.Anonymous -> begin
+            match Pagepool.get_zeroed_page t.k_pagepool with
+            | Some rpn -> (rpn, false)
+            | None -> raise Pagetable.Out_of_frames
+          end
+        | Mm.File_pages (file, from_page) -> begin
+            let page =
+              from_page
+              + ((ea - vma.Mm.va_start) lsr Addr.page_shift)
+            in
+            match Vfs.page_frame t.k_vfs file ~page with
+            | None -> raise Pagetable.Out_of_frames
+            | Some (rpn, cold) ->
+                if cold then idle_for t ~cycles:disk_wait_cycles;
+                (rpn, true)
+          end
+        | Mm.Phys_window base_rpn ->
+            (* a device aperture: the frame is the window's, not ours *)
+            (base_rpn + ((ea - vma.Mm.va_start) lsr Addr.page_shift), true)
+      in
+      Pagetable.map pt ~physmem:t.k_physmem ~ea
+        { Pagetable.rpn; writable = vma.Mm.va_writable; inhibited = false;
+          shared; cow = false };
+      charge_pt_update t pt ~ea
+
+let touch t kind ea =
+  maybe_tick t;
+  if Segment.is_kernel_ea ea then kaccess t kind ea
+  else
+    match Mmu.access t.k_mmu kind ea with
+    | Mmu.Ok _ -> ()
+    | Mmu.Fault -> begin
+        (match handle_user_fault t kind ea with
+        | () -> ()
+        | exception Cow_broken -> ());
+        match Mmu.access t.k_mmu kind ea with
+        | Mmu.Ok _ -> ()
+        | Mmu.Fault -> raise (Segfault ea)
+      end
+
+let user_run t ~instrs =
+  let task = require_current t in
+  Memsys.instructions t.k_memsys instrs;
+  let mm = task.Task.mm in
+  let text =
+    match Mm.find_vma mm Mm.user_text_base with
+    | Some vma -> Some vma
+    | None -> Mm.find_vma mm task.Task.code_cursor
+  in
+  match text with
+  | None -> ()
+  | Some vma ->
+      let text_end = vma.Mm.va_start + (vma.Mm.va_pages lsl Addr.page_shift) in
+      let lines = max 1 (instrs / 8) in
+      for _ = 1 to lines do
+        if
+          task.Task.code_cursor < vma.Mm.va_start
+          || task.Task.code_cursor >= text_end
+        then task.Task.code_cursor <- vma.Mm.va_start;
+        touch t Mmu.Fetch task.Task.code_cursor;
+        task.Task.code_cursor <- task.Task.code_cursor + Addr.line_size
+      done
+
+(* --- syscalls --------------------------------------------------------- *)
+
+let sys_null t = syscall_entry t
+
+let sys_mmap t ~pages ~writable =
+  syscall_entry t;
+  let task = require_current t in
+  let mm = task.Task.mm in
+  run_path t ~off:Kparams.off_mm
+    ~instrs:(Kparams.mmap_base_cost + (pages * Kparams.mmap_per_page))
+    ~data:(current_task_refs t);
+  let ea = Mm.alloc_mmap_range mm ~pages in
+  Mm.add_vma mm
+    { Mm.va_start = ea; va_pages = pages; va_writable = writable;
+      va_backing = Mm.Anonymous };
+  (* New mappings for this range must be the only ones visible: flush the
+     range from TLB and htab (the expensive part §7 attacks). *)
+  flush_range t ~mm ~ea ~pages;
+  ea
+
+let sys_munmap t ~ea ~pages =
+  syscall_entry t;
+  let task = require_current t in
+  let mm = task.Task.mm in
+  (match Mm.remove_vma mm ~start:ea with
+  | None -> invalid_arg "Kernel.sys_munmap: no vma at address"
+  | Some vma ->
+      if vma.Mm.va_pages <> pages then
+        invalid_arg "Kernel.sys_munmap: size mismatch";
+      match vma.Mm.va_backing with
+      | Mm.Phys_window _ -> drop_framebuffer t task
+      | Mm.Anonymous | Mm.File_pages _ -> ());
+  run_path t ~off:Kparams.off_mm ~instrs:Kparams.munmap_base_cost
+    ~data:(current_task_refs t);
+  let pt = Mm.pagetable mm in
+  for i = 0 to pages - 1 do
+    let pea = ea + (i lsl Addr.page_shift) in
+    match Pagetable.unmap pt ~ea:pea with
+    | None -> ()
+    | Some entry ->
+        Memsys.instructions t.k_memsys Kparams.munmap_per_mapped_page;
+        charge_pt_update t pt ~ea:pea;
+        release_frame t entry
+  done;
+  flush_range t ~mm ~ea ~pages
+
+let sys_mmap_file t file ~from_page ~pages ~writable =
+  syscall_entry t;
+  let task = require_current t in
+  let mm = task.Task.mm in
+  run_path t ~off:Kparams.off_mm
+    ~instrs:(Kparams.mmap_base_cost + (pages * Kparams.mmap_per_page))
+    ~data:(current_task_refs t);
+  let ea = Mm.alloc_mmap_range mm ~pages in
+  Mm.add_vma mm
+    { Mm.va_start = ea; va_pages = pages; va_writable = writable;
+      va_backing = Mm.File_pages (file, from_page) };
+  flush_range t ~mm ~ea ~pages;
+  ea
+
+(* The data vma is the one starting right after the text vma. *)
+let data_vma_start mm =
+  match Mm.find_vma mm Mm.user_text_base with
+  | Some text -> text.Mm.va_start + (text.Mm.va_pages lsl Addr.page_shift)
+  | None -> invalid_arg "Kernel.sys_brk: no text vma"
+
+let sys_brk t ~pages =
+  syscall_entry t;
+  let task = require_current t in
+  let mm = task.Task.mm in
+  run_path t ~off:Kparams.off_mm ~instrs:Kparams.mmap_base_cost
+    ~data:(current_task_refs t);
+  let start = data_vma_start mm in
+  let grown = Mm.grow_vma mm ~start ~extra_pages:pages in
+  let old_end =
+    grown.Mm.va_start + ((grown.Mm.va_pages - pages) lsl Addr.page_shift)
+  in
+  flush_range t ~mm ~ea:old_end ~pages;
+  grown.Mm.va_start + (grown.Mm.va_pages lsl Addr.page_shift)
+
+let sys_fork t =
+  syscall_entry t;
+  let parent = require_current t in
+  let pmm = parent.Task.mm in
+  run_path t ~off:Kparams.off_exec ~instrs:Kparams.fork_base
+    ~data:(current_task_refs t);
+  let pid = t.next_pid in
+  t.next_pid <- t.next_pid + 1;
+  let cmm = Mm.create ~physmem:t.k_physmem ~vsid_alloc:t.k_vsid ~pid in
+  List.iter (fun vma -> Mm.add_vma cmm vma) (Mm.vmas pmm);
+  let cpt = Mm.pagetable cmm in
+  let ppt = Mm.pagetable pmm in
+  (* Copy-on-write: both sides reference the same frame read-only; the
+     first store to either copy breaks the sharing. *)
+  Pagetable.iter ppt (fun ea entry ->
+      Memsys.instructions t.k_memsys Kparams.fork_per_page;
+      if entry.Pagetable.shared then begin
+        Pagetable.map cpt ~physmem:t.k_physmem ~ea entry;
+        charge_pt_update t cpt ~ea
+      end
+      else begin
+        let downgraded = { entry with Pagetable.writable = false; cow = true } in
+        Pagetable.map ppt ~physmem:t.k_physmem ~ea downgraded;
+        Pagetable.map cpt ~physmem:t.k_physmem ~ea downgraded;
+        charge_pt_update t cpt ~ea;
+        let refs =
+          match Hashtbl.find_opt t.cow_refs entry.Pagetable.rpn with
+          | Some n -> n + 1
+          | None -> 2
+        in
+        Hashtbl.replace t.cow_refs entry.Pagetable.rpn refs
+      end);
+  (* The parent's writable translations are now stale: flush its whole
+     context (real fork flushed the parent's TLB for the same reason). *)
+  flush_whole_mm t ~mm:pmm;
+  let child = Task.create ~pid ~mm:cmm in
+  child.Task.code_cursor <- parent.Task.code_cursor;
+  t.k_tasks <- child :: t.k_tasks;
+  child
+
+let release_address_space t mm =
+  let pt = Mm.pagetable mm in
+  let mapped = ref [] in
+  Pagetable.iter pt (fun ea entry -> mapped := (ea, entry) :: !mapped);
+  List.iter
+    (fun (ea, (entry : Pagetable.entry)) ->
+      ignore (Pagetable.unmap pt ~ea : Pagetable.entry option);
+      Memsys.instructions t.k_memsys Kparams.munmap_per_mapped_page;
+      release_frame t entry)
+    !mapped
+
+let sys_exec t ~text_pages ~data_pages ~stack_pages =
+  syscall_entry t;
+  let task = require_current t in
+  let mm = task.Task.mm in
+  run_path t ~off:Kparams.off_exec ~instrs:Kparams.exec_base
+    ~data:(current_task_refs t);
+  (* The old image's translations must all die: the classic whole-mm
+     flush. *)
+  drop_framebuffer t task;
+  flush_whole_mm t ~mm;
+  release_address_space t mm;
+  Mm.reset_vmas mm;
+  List.iter (Mm.add_vma mm)
+    (standard_vmas ~text_pages ~data_pages ~stack_pages);
+  task.Task.code_cursor <- Mm.user_text_base
+
+let sys_exit t =
+  syscall_entry t;
+  let task = require_current t in
+  run_path t ~off:Kparams.off_sched ~instrs:Kparams.proc_exit
+    ~data:(current_task_refs t);
+  let mm = task.Task.mm in
+  drop_framebuffer t task;
+  if not (lazy_flush_available t) then flush_whole_mm t ~mm;
+  release_address_space t mm;
+  Mm.destroy mm ~physmem:t.k_physmem ~vsid_alloc:t.k_vsid
+    ~free_frame:(fun _ -> () (* frames already released above *));
+  task.Task.state <- Task.Exited;
+  t.k_tasks <- List.filter (fun other -> other != task) t.k_tasks;
+  t.k_current <- None
+
+(* --- pipes ------------------------------------------------------------ *)
+
+let new_pipe t =
+  let index = t.next_pipe in
+  t.next_pipe <- t.next_pipe + 1;
+  Pipe.create ~index
+
+let copy_user_kernel t ~user ~kernel ~bytes ~to_kernel =
+  let lines = (bytes + Addr.line_size - 1) / Addr.line_size in
+  Memsys.instructions t.k_memsys (bytes / 4 * Kparams.copy_cycles_per_word);
+  for i = 0 to lines - 1 do
+    let off = i * Addr.line_size in
+    let kea = kernel + (off land (Pipe.capacity - 1)) in
+    if to_kernel then begin
+      touch t Mmu.Load (user + off);
+      kaccess t Mmu.Store kea
+    end
+    else begin
+      kaccess t Mmu.Load kea;
+      touch t Mmu.Store (user + off)
+    end
+  done
+
+let sys_pipe_write t pipe ~buf ~bytes =
+  syscall_entry t;
+  run_path t ~off:Kparams.off_pipe ~instrs:Kparams.pipe_op
+    ~data:(current_task_refs t);
+  let n = Pipe.write pipe ~bytes in
+  if n > 0 then
+    copy_user_kernel t ~user:buf
+      ~kernel:(Kparams.pipe_buf_ea ~index:(Pipe.index pipe))
+      ~bytes:n ~to_kernel:true;
+  n
+
+let sys_pipe_read t pipe ~buf ~bytes =
+  syscall_entry t;
+  run_path t ~off:Kparams.off_pipe ~instrs:Kparams.pipe_op
+    ~data:(current_task_refs t);
+  let n = Pipe.read pipe ~bytes in
+  if n > 0 then
+    copy_user_kernel t ~user:buf
+      ~kernel:(Kparams.pipe_buf_ea ~index:(Pipe.index pipe))
+      ~bytes:n ~to_kernel:false;
+  n
+
+(* --- file reads ------------------------------------------------------- *)
+
+(* Shared body of the waiting and non-waiting reads: [on_cold] decides
+   what a cold page costs the caller. *)
+let file_read_body t file ~from_page ~pages ~buf ~on_cold =
+  syscall_entry t;
+  run_path t ~off:Kparams.off_vfs ~instrs:Kparams.read_op
+    ~data:(current_task_refs t);
+  for p = 0 to pages - 1 do
+    match Vfs.page_frame t.k_vfs file ~page:(from_page + p) with
+    | None -> raise Pagetable.Out_of_frames
+    | Some (rpn, cold) ->
+        if cold then on_cold ();
+        let kea = Kparams.kernel_virt_of_phys (rpn lsl Addr.page_shift) in
+        let lines = Addr.page_size / Addr.line_size in
+        Memsys.instructions t.k_memsys
+          ((Addr.page_size / 4 * Kparams.copy_cycles_per_word)
+          + Kparams.vfs_per_page);
+        for i = 0 to lines - 1 do
+          let off = i * Addr.line_size in
+          kaccess t Mmu.Load (kea + off);
+          touch t Mmu.Store (buf + (p * Addr.page_size) + off)
+        done
+  done
+
+let sys_file_read t file ~from_page ~pages ~buf =
+  file_read_body t file ~from_page ~pages ~buf ~on_cold:(fun () ->
+      idle_for t ~cycles:disk_wait_cycles)
+
+let sys_file_read_async t file ~from_page ~pages ~buf =
+  let cold = ref 0 in
+  file_read_body t file ~from_page ~pages ~buf ~on_cold:(fun () -> incr cold);
+  !cold
+
+let sys_file_write t file ~from_page ~pages ~buf =
+  syscall_entry t;
+  run_path t ~off:Kparams.off_vfs ~instrs:Kparams.read_op
+    ~data:(current_task_refs t);
+  for p = 0 to pages - 1 do
+    match Vfs.page_frame t.k_vfs file ~page:(from_page + p) with
+    | None -> raise Pagetable.Out_of_frames
+    | Some (rpn, _cold) ->
+        (* a fresh page-cache frame needs no disk read before being
+           overwritten; the data is copied user -> cache and written
+           behind *)
+        let kea = Kparams.kernel_virt_of_phys (rpn lsl Addr.page_shift) in
+        let lines = Addr.page_size / Addr.line_size in
+        Memsys.instructions t.k_memsys
+          ((Addr.page_size / 4 * Kparams.copy_cycles_per_word)
+          + Kparams.vfs_per_page);
+        for i = 0 to lines - 1 do
+          let off = i * Addr.line_size in
+          touch t Mmu.Load (buf + (p * Addr.page_size) + off);
+          kaccess t Mmu.Store (kea + off)
+        done
+  done
+
+(* --- measurement helpers ---------------------------------------------- *)
+
+let kernel_tlb_entries t =
+  Mmu.kernel_tlb_entries t.k_mmu ~is_kernel_vsid:Vsid_alloc.is_kernel
+
+let htab_occupancy t =
+  match Mmu.htab t.k_mmu with
+  | None -> 0
+  | Some h -> Htab.occupancy h
+
+let htab_live_and_zombie t =
+  match Mmu.htab t.k_mmu with
+  | None -> (0, 0)
+  | Some h ->
+      let live =
+        Htab.count_valid h ~f:(fun pte ->
+            Vsid_alloc.is_live t.k_vsid pte.Pte.vsid)
+      in
+      (live, Htab.occupancy h - live)

@@ -1,0 +1,96 @@
+open Ppc
+
+type backing =
+  | Anonymous
+  | File_pages of Vfs.file * int
+  | Phys_window of int
+
+type vma = {
+  va_start : Addr.ea;
+  va_pages : int;
+  va_writable : bool;
+  va_backing : backing;
+}
+
+type t = {
+  mm_pid : int;
+  mutable mm_ctx : int;
+  pt : Pagetable.t;
+  mutable mm_vmas : vma list;
+  mutable mmap_cursor : Addr.ea;
+}
+
+let user_text_base = 0x01800000
+let user_mmap_base = 0x40000000
+let user_stack_top = 0x80000000
+let framebuffer_base = 0x60000000
+
+let create ~physmem ~vsid_alloc ~pid =
+  let ctx = Vsid_alloc.new_context vsid_alloc ~pid in
+  let ctx_pa =
+    Kparams.kernel_phys_of_virt (Kparams.task_struct_ea ~pid)
+  in
+  { mm_pid = pid;
+    mm_ctx = ctx;
+    pt = Pagetable.create ~physmem ~ctx_pa;
+    mm_vmas = [];
+    mmap_cursor = user_mmap_base }
+
+let pid t = t.mm_pid
+let ctx t = t.mm_ctx
+let set_ctx t ctx = t.mm_ctx <- ctx
+
+let vsid_for_sr t ~vsid_alloc sr = Vsid_alloc.vsid vsid_alloc ~ctx:t.mm_ctx ~sr
+
+let pagetable t = t.pt
+
+let vma_end v = v.va_start + (v.va_pages lsl Addr.page_shift)
+
+let overlaps a b = a.va_start < vma_end b && b.va_start < vma_end a
+
+let add_vma t v =
+  if not (Addr.is_page_aligned v.va_start) || v.va_pages <= 0 then
+    invalid_arg "Mm.add_vma: malformed vma";
+  if List.exists (overlaps v) t.mm_vmas then
+    invalid_arg "Mm.add_vma: overlapping vma";
+  t.mm_vmas <- v :: t.mm_vmas
+
+let remove_vma t ~start =
+  match List.partition (fun v -> v.va_start = start) t.mm_vmas with
+  | [], _ -> None
+  | v :: _, rest ->
+      t.mm_vmas <- rest;
+      Some v
+
+let grow_vma t ~start ~extra_pages =
+  if extra_pages <= 0 then invalid_arg "Mm.grow_vma: extra_pages";
+  match List.partition (fun v -> v.va_start = start) t.mm_vmas with
+  | [], _ -> invalid_arg "Mm.grow_vma: no vma at address"
+  | v :: _, rest ->
+      let grown = { v with va_pages = v.va_pages + extra_pages } in
+      if List.exists (overlaps grown) rest then
+        invalid_arg "Mm.grow_vma: growth would overlap";
+      t.mm_vmas <- grown :: rest;
+      grown
+
+let find_vma t ea =
+  List.find_opt (fun v -> ea >= v.va_start && ea < vma_end v) t.mm_vmas
+
+let vmas t = t.mm_vmas
+
+let alloc_mmap_range t ~pages =
+  let ea = t.mmap_cursor in
+  t.mmap_cursor <- t.mmap_cursor + (pages lsl Addr.page_shift);
+  ea
+
+let reset_vmas t =
+  t.mm_vmas <- [];
+  t.mmap_cursor <- user_mmap_base
+
+let mapped_pages t = Pagetable.mapped_count t.pt
+
+let destroy t ~physmem ~vsid_alloc ~free_frame =
+  Pagetable.iter t.pt (fun _ea entry -> free_frame entry.Pagetable.rpn);
+  Pagetable.destroy t.pt ~physmem;
+  Vsid_alloc.retire_context vsid_alloc t.mm_ctx;
+  t.mm_vmas <- []

@@ -1,0 +1,50 @@
+open Ppc
+
+type t = {
+  total : int;
+  reserved : int;
+  allocated : bool array;  (* indexed by rpn *)
+  free_list : int array;   (* stack of free rpns *)
+  mutable top : int;       (* number of frames on the stack *)
+}
+
+let create ~ram_bytes ~reserved_bytes =
+  let total = ram_bytes / Addr.page_size in
+  let reserved = Addr.round_up_pages reserved_bytes in
+  if reserved > total then invalid_arg "Physmem.create: reserved > ram";
+  let allocated = Array.make total false in
+  for i = 0 to reserved - 1 do
+    allocated.(i) <- true
+  done;
+  let free_list = Array.make total 0 in
+  (* LIFO stack with low frames on top so early allocations are low. *)
+  let top = ref 0 in
+  for rpn = total - 1 downto reserved do
+    free_list.(!top) <- rpn;
+    incr top
+  done;
+  { total; reserved; allocated; free_list; top = !top }
+
+let total_frames t = t.total
+let reserved_frames t = t.reserved
+let free_frames t = t.top
+
+let alloc t =
+  if t.top = 0 then None
+  else begin
+    t.top <- t.top - 1;
+    let rpn = t.free_list.(t.top) in
+    t.allocated.(rpn) <- true;
+    Some rpn
+  end
+
+let free t rpn =
+  if rpn < 0 || rpn >= t.total then invalid_arg "Physmem.free: out of range";
+  if rpn < t.reserved then invalid_arg "Physmem.free: reserved frame";
+  if not t.allocated.(rpn) then invalid_arg "Physmem.free: double free";
+  t.allocated.(rpn) <- false;
+  t.free_list.(t.top) <- rpn;
+  t.top <- t.top + 1
+
+let is_allocated t rpn =
+  if rpn < 0 || rpn >= t.total then false else t.allocated.(rpn)

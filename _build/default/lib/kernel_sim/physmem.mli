@@ -1,0 +1,34 @@
+(** Physical page-frame allocator.
+
+    Manages the 32 MB of RAM as 4 KB frames.  The low [reserved] region
+    (kernel image, htab, vectors) is never allocated.  Allocation is
+    LIFO (a freed frame is reused first), which is what makes the
+    pre-zeroed-page list of §9 interesting: without it, a hot frame keeps
+    cycling through [get_free_page] and must be re-cleared every time. *)
+
+type t
+
+val create : ram_bytes:int -> reserved_bytes:int -> t
+(** [create ~ram_bytes ~reserved_bytes] builds an allocator over
+    [ram_bytes] with the first [reserved_bytes] pinned. *)
+
+val total_frames : t -> int
+(** All frames, including reserved ones. *)
+
+val reserved_frames : t -> int
+
+val free_frames : t -> int
+(** Currently allocatable frames. *)
+
+val alloc : t -> int option
+(** [alloc t] takes a frame (returns its RPN), or [None] when memory is
+    exhausted. *)
+
+val free : t -> int -> unit
+(** [free t rpn] returns a frame.
+    @raise Invalid_argument on a reserved, out-of-range or already-free
+    frame (double free). *)
+
+val is_allocated : t -> int -> bool
+(** [is_allocated t rpn] — is this frame currently handed out (reserved
+    frames count as allocated)? *)

@@ -1,0 +1,29 @@
+type t = {
+  idx : int;
+  mutable level : int;
+  mutable written : int;
+  mutable read_total : int;
+}
+
+let capacity = 4096
+
+let create ~index = { idx = index; level = 0; written = 0; read_total = 0 }
+
+let index t = t.idx
+let level t = t.level
+let space t = capacity - t.level
+
+let write t ~bytes =
+  let n = min bytes (space t) in
+  t.level <- t.level + n;
+  t.written <- t.written + n;
+  n
+
+let read t ~bytes =
+  let n = min bytes t.level in
+  t.level <- t.level - n;
+  t.read_total <- t.read_total + n;
+  n
+
+let total_written t = t.written
+let total_read t = t.read_total

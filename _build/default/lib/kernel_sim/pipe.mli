@@ -1,0 +1,35 @@
+(** Kernel pipes.
+
+    A pipe is a 4 KB kernel buffer; writes copy user data in, reads copy
+    it out.  The structure only tracks byte counts — the copies
+    themselves (and their cache/TLB traffic) are charged by
+    {!Kernel.sys_pipe_write}/{!Kernel.sys_pipe_read}, which move data a
+    cache line at a time through the MMU. *)
+
+type t
+
+val capacity : int
+(** 4096 bytes. *)
+
+val create : index:int -> t
+(** [index] selects which kernel buffer address this pipe uses. *)
+
+val index : t -> int
+
+val level : t -> int
+(** Bytes currently buffered. *)
+
+val space : t -> int
+(** [capacity - level]. *)
+
+val write : t -> bytes:int -> int
+(** [write t ~bytes] accepts [min bytes (space t)] and returns it. *)
+
+val read : t -> bytes:int -> int
+(** [read t ~bytes] delivers [min bytes (level t)] and returns it. *)
+
+val total_written : t -> int
+(** Lifetime bytes accepted — with [total_read], the conservation
+    invariant [total_written = total_read + level]. *)
+
+val total_read : t -> int

@@ -1,0 +1,66 @@
+type outcome =
+  | Yield
+  | Sleep of int
+  | Done
+
+type entry = {
+  task : Task.t;
+  step : Kernel.t -> outcome;
+  mutable wake_at : int;  (* absolute cycle; 0 = runnable *)
+  mutable finished : bool;
+}
+
+type t = {
+  kernel : Kernel.t;
+  mutable entries : entry list;  (* round-robin order *)
+}
+
+let create kernel = { kernel; entries = [] }
+
+let add t task step =
+  t.entries <- t.entries @ [ { task; step; wake_at = 0; finished = false } ]
+
+let live t = List.length (List.filter (fun e -> not e.finished) t.entries)
+
+(* The earliest wake-up among sleeping processes, if any. *)
+let next_wake t =
+  List.fold_left
+    (fun acc e ->
+      if e.finished then acc
+      else
+        match acc with
+        | None -> Some e.wake_at
+        | Some w -> Some (min w e.wake_at))
+    None t.entries
+
+let same_task a b = a.Task.pid = b.Task.pid
+
+let run t =
+  let k = t.kernel in
+  let rec loop () =
+    let now = Kernel.cycles k in
+    let runnable =
+      List.filter (fun e -> (not e.finished) && e.wake_at <= now) t.entries
+    in
+    match runnable with
+    | e :: _ ->
+        (* rotate: served entries go to the back of the queue *)
+        t.entries <- List.filter (fun e' -> e' != e) t.entries @ [ e ];
+        (match Kernel.current k with
+        | Some cur when same_task cur e.task -> ()
+        | Some _ | None -> Kernel.switch_to k e.task);
+        (match e.step k with
+        | Yield -> ()
+        | Sleep n -> e.wake_at <- Kernel.cycles k + n
+        | Done -> e.finished <- true);
+        loop ()
+    | [] -> begin
+        match next_wake t with
+        | None -> ()  (* everyone finished *)
+        | Some wake ->
+            (* nothing runnable: the idle task gets the CPU *)
+            Kernel.idle_for k ~cycles:(max 1 (wake - Kernel.cycles k));
+            loop ()
+      end
+  in
+  loop ()

@@ -1,0 +1,34 @@
+(** A cooperative round-robin scheduler.
+
+    The microbenchmarks drive {!Kernel.switch_to} directly (they {e are}
+    the schedule); macro workloads with real blocking — compile jobs
+    sleeping on disk while others compute — need an actual scheduler.
+    Processes are step functions: each call runs one bounded slice on the
+    current task and says what happens next ([Yield] back to the queue,
+    [Sleep] until a deadline, or [Done]).  When every process is asleep
+    the machine runs the idle task until the earliest wake-up — which is
+    exactly when the §7/§9 idle work (zombie reclaim, page clearing)
+    happens on a loaded system. *)
+
+(** What a process slice reports back. *)
+type outcome =
+  | Yield          (** runnable again immediately *)
+  | Sleep of int   (** blocked for this many cycles (disk, timer) *)
+  | Done           (** the process exited (the step called [sys_exit]) *)
+
+type t
+
+val create : Kernel.t -> t
+
+val add : t -> Task.t -> (Kernel.t -> outcome) -> unit
+(** [add t task step] enrolls a process.  The scheduler switches to
+    [task] before every [step] call. *)
+
+val live : t -> int
+(** Enrolled processes not yet [Done]. *)
+
+val run : t -> unit
+(** Round-robin until every process is [Done].  Context switches are
+    charged only when the running task actually changes; sleeping with
+    nothing else runnable charges idle time.  (Timer interrupts fire
+    inside the kernel's own operations — see {!Kernel.timer_tick}.) *)

@@ -1,0 +1,50 @@
+type file = {
+  fname : string;
+  frames : int option array;
+  mutable resident : int;
+}
+
+type t = {
+  physmem : Physmem.t;
+  files : (string, file) Hashtbl.t;
+}
+
+let create ~physmem = { physmem; files = Hashtbl.create 16 }
+
+let create_file t ~name ~pages =
+  if Hashtbl.mem t.files name then invalid_arg "Vfs.create_file: exists";
+  if pages <= 0 then invalid_arg "Vfs.create_file: pages";
+  let f = { fname = name; frames = Array.make pages None; resident = 0 } in
+  Hashtbl.replace t.files name f;
+  f
+
+let lookup t name = Hashtbl.find_opt t.files name
+
+let file_pages f = Array.length f.frames
+let name f = f.fname
+let resident_pages f = f.resident
+
+let page_frame t f ~page =
+  if page < 0 || page >= Array.length f.frames then None
+  else
+    match f.frames.(page) with
+    | Some rpn -> Some (rpn, false)
+    | None -> begin
+        match Physmem.alloc t.physmem with
+        | None -> None
+        | Some rpn ->
+            f.frames.(page) <- Some rpn;
+            f.resident <- f.resident + 1;
+            Some (rpn, true)
+      end
+
+let evict t f =
+  Array.iteri
+    (fun i frame ->
+      match frame with
+      | None -> ()
+      | Some rpn ->
+          Physmem.free t.physmem rpn;
+          f.frames.(i) <- None)
+    f.frames;
+  f.resident <- 0

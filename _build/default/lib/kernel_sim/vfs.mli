@@ -1,0 +1,35 @@
+(** A minimal page-cache file layer.
+
+    Files are arrays of pages; a page is either resident (owning a
+    physical frame) or cold (first access allocates the frame and costs a
+    simulated disk wait, which the kernel spends in the idle task — the
+    "a lot of I/O happens that must be waited for" of §9).  The file
+    re-read benchmark reads a warm file, so its cost is pure copy +
+    MMU/cache traffic. *)
+
+type file
+
+type t
+
+val create : physmem:Physmem.t -> t
+
+val create_file : t -> name:string -> pages:int -> file
+(** A new, entirely cold file.
+    @raise Invalid_argument if [name] exists. *)
+
+val lookup : t -> string -> file option
+
+val file_pages : file -> int
+
+val name : file -> string
+
+val resident_pages : file -> int
+
+val page_frame : t -> file -> page:int -> (int * bool) option
+(** [page_frame t f ~page] returns [(rpn, was_cold)], faulting the page
+    in (allocating a frame) if needed; [None] when out of memory or out
+    of range. *)
+
+val evict : t -> file -> unit
+(** Drop every resident page of [f], freeing the frames — makes the next
+    read cold again. *)

@@ -1,0 +1,83 @@
+type id_source =
+  | Pid_based
+  | Context_counter
+
+let scatter_multiplier = 897
+
+(* The 24-bit VSID for segment [sr] of context [ctx] is
+   [sr << 20 | (ctx * multiplier mod 2^20)]: the segment selects the top
+   nibble and the munged context supplies the 20 low bits the PTEG hash
+   folds on.  Multiplier 1 is the naive "derive VSIDs from the process
+   identifier" scheme: processes with similar layouts then pile their
+   PTEs into the same narrow band of PTEGs (the §5.2 hot spots); an odd
+   non-power-of-two multiplier (897) scatters the bands across the whole
+   table. *)
+let kernel_base = 0xFF000
+
+type t = {
+  src : id_source;
+  mult : int;
+  live : (int, unit) Hashtbl.t;  (* keyed by each issued VSID *)
+  mutable next : int;
+}
+
+let create ~source ~multiplier =
+  if multiplier <= 0 then
+    invalid_arg "Vsid_alloc.create: multiplier must be positive";
+  { src = source; mult = multiplier; live = Hashtbl.create 64; next = 1 }
+
+let multiplier t = t.mult
+let source t = t.src
+
+let vsid0_of t ctx = ctx * t.mult land 0xFFFFF
+
+let vsid_of t ctx sr = ((sr land 0xF) lsl 20) lor vsid0_of t ctx
+
+let kernel_vsid ~sr = (kernel_base lsl 4) lor (sr land 0xF)
+
+let is_kernel vsid = vsid lsr 4 = kernel_base
+
+(* A context collides with the kernel VSIDs when one of its segments
+   lands in the kernel block [0xFF0000, 0xFF0010) — i.e. segment 15 with
+   a munged context in [0xF0000, 0xF0010); the counter skips such ids. *)
+let collides_with_kernel t ctx =
+  let v0 = vsid0_of t ctx in
+  v0 >= 0xF0000 && v0 < 0xF0010
+
+let new_context t ~pid =
+  let ctx =
+    match t.src with
+    | Pid_based -> pid
+    | Context_counter ->
+        let rec pick () =
+          let c = t.next in
+          t.next <- t.next + 1;
+          if collides_with_kernel t c then pick () else c
+        in
+        pick ()
+  in
+  for sr = 0 to 15 do
+    Hashtbl.replace t.live (vsid_of t ctx sr) ()
+  done;
+  ctx
+
+let retire_context t ctx =
+  for sr = 0 to 15 do
+    Hashtbl.remove t.live (vsid_of t ctx sr)
+  done
+
+let renew_context t ~old_ctx ~pid =
+  match t.src with
+  | Pid_based ->
+      invalid_arg "Vsid_alloc.renew_context: Pid_based ids cannot be renewed"
+  | Context_counter ->
+      retire_context t old_ctx;
+      new_context t ~pid
+
+let vsid t ~ctx ~sr = vsid_of t ctx sr
+
+let is_live t vsid = is_kernel vsid || Hashtbl.mem t.live vsid
+
+let is_zombie t vsid = not (is_live t vsid)
+
+let live_contexts t = Hashtbl.length t.live / 16

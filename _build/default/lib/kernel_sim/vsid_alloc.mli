@@ -1,0 +1,72 @@
+(** VSID allocation strategies (§5.2 and §7).
+
+    Each memory-management context gets 16 VSIDs, one per segment
+    register: [vsid = segment << 20 | (id * multiplier mod 2^20)].  The
+    munged context id supplies the low bits the PTEG hash folds on.  Two
+    policy axes matter:
+
+    - {b id source}: deriving the id from the PID is the "obvious
+      strategy"; a monotonic {e context counter} is what enables lazy
+      flushing — a whole address space is invalidated by just issuing the
+      context a fresh id, leaving "zombie" PTEs behind whose VSIDs can
+      never match again.
+    - {b multiplier}: the logical address spaces of processes are similar,
+      so the htab hash relies on VSIDs for variation.  The naive
+      multiplier 1 (VSID low bits = pid) piles every process's PTEs into
+      the same narrow band of PTEGs — the hot spots that capped htab use
+      at 37%; "multiplying the process id by a small non-power-of-two
+      constant" (897, the historically tuned value) scatters the bands
+      across the whole table (57-75% use).
+
+    The allocator tracks the live id set so the MMU and idle task can
+    classify any VSID as live or zombie in O(1). *)
+
+(** Where context ids come from. *)
+type id_source =
+  | Pid_based        (** id = pid; cannot support lazy flushing *)
+  | Context_counter  (** monotonic counter; retiring an id is O(1) *)
+
+val scatter_multiplier : int
+(** 897 — the tuned non-power-of-two constant. *)
+
+type t
+
+val create : source:id_source -> multiplier:int -> t
+(** [create ~source ~multiplier] — [multiplier] must be positive.
+    @raise Invalid_argument otherwise. *)
+
+val multiplier : t -> int
+val source : t -> id_source
+
+val new_context : t -> pid:int -> int
+(** [new_context t ~pid] issues a live context id.  With [Pid_based] the
+    id {e is} [pid]; with [Context_counter] it is the next counter
+    value. *)
+
+val renew_context : t -> old_ctx:int -> pid:int -> int
+(** [renew_context t ~old_ctx ~pid] retires [old_ctx] (its VSIDs become
+    zombies) and issues a replacement — the lazy whole-context flush.
+    @raise Invalid_argument under [Pid_based], which has no spare ids. *)
+
+val retire_context : t -> int -> unit
+(** [retire_context t ctx] marks the context dead (process exit). *)
+
+val vsid : t -> ctx:int -> sr:int -> int
+(** The VSID for segment register [sr] (0–15) of context [ctx]. *)
+
+val kernel_vsid : sr:int -> int
+(** Fixed VSIDs for the kernel segments (12–15); always live. *)
+
+val is_live : t -> int -> bool
+(** [is_live t vsid] — does [vsid] belong to a live context (or the
+    kernel)? *)
+
+val is_zombie : t -> int -> bool
+(** [not (is_live t vsid)]: the predicate driving eviction accounting and
+    idle reclaim.  (A VSID never issued is trivially "zombie"; the htab
+    only ever holds issued ones.) *)
+
+val is_kernel : int -> bool
+(** Does this VSID belong to a kernel segment? *)
+
+val live_contexts : t -> int

@@ -1,0 +1,1 @@
+lib/ppc/addr.ml: Format

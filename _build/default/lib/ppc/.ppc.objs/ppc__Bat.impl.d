@@ -1,0 +1,1 @@
+lib/ppc/bat.ml: Addr Array

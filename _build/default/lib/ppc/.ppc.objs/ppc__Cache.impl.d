@@ -1,0 +1,1 @@
+lib/ppc/cache.ml: Addr Array

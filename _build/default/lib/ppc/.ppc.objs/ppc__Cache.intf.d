@@ -1,0 +1,1 @@
+lib/ppc/cache.mli: Addr

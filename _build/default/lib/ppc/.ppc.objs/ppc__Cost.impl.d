@@ -1,0 +1,1 @@
+lib/ppc/cost.ml:

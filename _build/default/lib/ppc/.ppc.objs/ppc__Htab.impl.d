@@ -1,0 +1,1 @@
+lib/ppc/htab.ml: Addr Array List Pte Rng

@@ -1,0 +1,1 @@
+lib/ppc/htab.mli: Addr Pte Rng

@@ -1,0 +1,1 @@
+lib/ppc/machine.mli: Format

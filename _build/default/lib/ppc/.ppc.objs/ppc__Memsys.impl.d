@@ -1,0 +1,1 @@
+lib/ppc/memsys.ml: Addr Cache Cost Machine Perf

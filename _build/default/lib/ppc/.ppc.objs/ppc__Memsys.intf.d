@@ -1,0 +1,1 @@
+lib/ppc/memsys.mli: Addr Cache Machine Perf

@@ -1,0 +1,1 @@
+lib/ppc/mmu.ml: Addr Array Bat Cache Cost Htab Machine Memsys Option Perf Pte Rng Segment Tlb

@@ -1,0 +1,1 @@
+lib/ppc/mmu.mli: Addr Bat Htab Machine Memsys Pte Rng Segment Tlb

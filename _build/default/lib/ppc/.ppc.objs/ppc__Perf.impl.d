@@ -1,0 +1,1 @@
+lib/ppc/perf.ml: Format

@@ -1,0 +1,1 @@
+lib/ppc/pte.ml: Addr Format

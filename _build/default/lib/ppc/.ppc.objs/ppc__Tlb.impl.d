@@ -1,0 +1,1 @@
+lib/ppc/tlb.ml: Addr Array

@@ -1,0 +1,52 @@
+type entry = {
+  mutable valid : bool;
+  mutable base_ea : int;
+  mutable length : int;
+  mutable phys_base : int;
+}
+
+type t = entry array
+
+let n_registers = 4
+let min_block = 128 * 1024
+let max_block = 256 * 1024 * 1024
+
+let create () =
+  Array.init n_registers (fun _ ->
+      { valid = false; base_ea = 0; length = 0; phys_base = 0 })
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let set t ~index ~base_ea ~length ~phys_base =
+  if index < 0 || index >= n_registers then
+    invalid_arg "Bat.set: index out of range";
+  if not (is_power_of_two length) || length < min_block || length > max_block
+  then invalid_arg "Bat.set: length must be a power of two in [128K, 256M]";
+  if base_ea land (length - 1) <> 0 || phys_base land (length - 1) <> 0 then
+    invalid_arg "Bat.set: bases must be aligned to the block length";
+  let e = t.(index) in
+  e.valid <- true;
+  e.base_ea <- base_ea;
+  e.length <- length;
+  e.phys_base <- phys_base
+
+let clear t ~index = t.(index).valid <- false
+
+let clear_all t = Array.iter (fun e -> e.valid <- false) t
+
+let translate t ea =
+  (* Four entries: a linear scan models the parallel compare. *)
+  let rec loop i =
+    if i >= n_registers then None
+    else
+      let e = t.(i) in
+      if e.valid && ea land lnot (e.length - 1) land Addr.ea_mask = e.base_ea
+      then Some (e.phys_base lor (ea land (e.length - 1)))
+      else loop (i + 1)
+  in
+  loop 0
+
+let covers t ea = translate t ea <> None
+
+let valid_count t =
+  Array.fold_left (fun acc e -> if e.valid then acc + 1 else acc) 0 t

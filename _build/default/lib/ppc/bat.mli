@@ -1,0 +1,46 @@
+(** Block Address Translation registers.
+
+    The PowerPC translates every reference through the BAT registers in
+    parallel with the page lookup; a BAT hit abandons the page translation
+    entirely, so BAT-mapped regions consume no TLB or hash-table entries —
+    the property §5.1 exploits to remove the kernel's TLB footprint.  There
+    are four instruction and four data BATs; blocks are 128 KiB to 256 MiB,
+    power-of-two sized and alignment-constrained. *)
+
+type t
+(** One bank of four BAT registers (instruction or data). *)
+
+val n_registers : int
+(** 4 per bank. *)
+
+val min_block : int
+(** 128 KiB, the smallest block length. *)
+
+val max_block : int
+(** 256 MiB, the largest block length. *)
+
+val create : unit -> t
+(** All entries invalid. *)
+
+val set :
+  t -> index:int -> base_ea:Addr.ea -> length:int -> phys_base:Addr.pa -> unit
+(** [set t ~index ~base_ea ~length ~phys_base] programs one register.
+    [length] must be a power of two in [[min_block, max_block]] and both
+    bases must be aligned to it.
+    @raise Invalid_argument on a malformed block. *)
+
+val clear : t -> index:int -> unit
+(** Invalidate one register. *)
+
+val clear_all : t -> unit
+(** Invalidate the whole bank. *)
+
+val translate : t -> Addr.ea -> Addr.pa option
+(** [translate t ea] is [Some pa] when a valid BAT covers [ea] — in which
+    case the page translation (TLB, htab) is bypassed. *)
+
+val covers : t -> Addr.ea -> bool
+(** [covers t ea] = [translate t ea <> None]. *)
+
+val valid_count : t -> int
+(** Number of programmed registers. *)

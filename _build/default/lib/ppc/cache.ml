@@ -1,0 +1,153 @@
+type source =
+  | User
+  | Kernel
+  | Page_table
+  | Htab
+  | Idle_clear
+
+let n_sources = 5
+
+let source_index = function
+  | User -> 0
+  | Kernel -> 1
+  | Page_table -> 2
+  | Htab -> 3
+  | Idle_clear -> 4
+
+let source_name = function
+  | User -> "user"
+  | Kernel -> "kernel"
+  | Page_table -> "page-table"
+  | Htab -> "htab"
+  | Idle_clear -> "idle-clear"
+
+type result =
+  | Hit
+  | Miss of { dirty_writeback : bool }
+  | Bypass
+
+type t = {
+  n_sets : int;
+  n_ways : int;
+  tags : int array;    (* line index, or -1 when invalid *)
+  dirty : bool array;
+  stamps : int array;
+  mutable tick : int;
+  mutable locked : bool;
+  allocs : int array;      (* per source *)
+  evictions : int array;   (* per source *)
+}
+
+let create ~bytes ~ways =
+  let lines = bytes / Addr.line_size in
+  if lines mod ways <> 0 then invalid_arg "Cache.create: geometry";
+  let sets = lines / ways in
+  if sets <= 0 || sets land (sets - 1) <> 0 then
+    invalid_arg "Cache.create: sets must be a positive power of two";
+  { n_sets = sets;
+    n_ways = ways;
+    tags = Array.make lines (-1);
+    dirty = Array.make lines false;
+    stamps = Array.make lines 0;
+    tick = 0;
+    locked = false;
+    allocs = Array.make n_sources 0;
+    evictions = Array.make n_sources 0 }
+
+let capacity_lines t = t.n_sets * t.n_ways
+
+let set_of t line = line land (t.n_sets - 1)
+
+(* Find the hit way, a free way and the LRU way of the set in one scan. *)
+let scan_set t base line =
+  let hit_way = ref (-1) in
+  let free_way = ref (-1) in
+  let lru = ref max_int in
+  let lru_way = ref 0 in
+  for w = 0 to t.n_ways - 1 do
+    let i = base + w in
+    if t.tags.(i) = line then hit_way := w
+    else if t.tags.(i) < 0 && !free_way < 0 then free_way := w;
+    if t.stamps.(i) < !lru then begin
+      lru := t.stamps.(i);
+      lru_way := w
+    end
+  done;
+  (!hit_way, !free_way, !lru_way)
+
+let fill t ~source ~write i line =
+  let src = source_index source in
+  let dirty_writeback = t.tags.(i) >= 0 && t.dirty.(i) in
+  if t.tags.(i) >= 0 then t.evictions.(src) <- t.evictions.(src) + 1;
+  t.tags.(i) <- line;
+  t.dirty.(i) <- write;
+  t.stamps.(i) <- t.tick;
+  t.allocs.(src) <- t.allocs.(src) + 1;
+  Miss { dirty_writeback }
+
+let access t ~source ~inhibited ~write pa =
+  if inhibited then Bypass
+  else begin
+    let line = Addr.line_index pa in
+    let base = set_of t line * t.n_ways in
+    let hit_way, free_way, lru_way = scan_set t base line in
+    t.tick <- t.tick + 1;
+    if hit_way >= 0 then begin
+      let i = base + hit_way in
+      t.stamps.(i) <- t.tick;
+      if write then t.dirty.(i) <- true;
+      Hit
+    end
+    else if t.locked then Bypass
+    else
+      let w = if free_way >= 0 then free_way else lru_way in
+      fill t ~source ~write (base + w) line
+  end
+
+let allocate_zero t ~source pa =
+  let line = Addr.line_index pa in
+  let base = set_of t line * t.n_ways in
+  let hit_way, free_way, lru_way = scan_set t base line in
+  t.tick <- t.tick + 1;
+  if hit_way >= 0 then begin
+    let i = base + hit_way in
+    t.stamps.(i) <- t.tick;
+    t.dirty.(i) <- true;
+    Hit
+  end
+  else if t.locked then Bypass
+  else
+    let w = if free_way >= 0 then free_way else lru_way in
+    fill t ~source ~write:true (base + w) line
+
+let contains t pa =
+  let line = Addr.line_index pa in
+  let base = set_of t line * t.n_ways in
+  let rec loop w =
+    if w >= t.n_ways then false
+    else if t.tags.(base + w) = line then true
+    else loop (w + 1)
+  in
+  loop 0
+
+let set_locked t b = t.locked <- b
+let is_locked t = t.locked
+
+let invalidate_all t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.dirty 0 (Array.length t.dirty) false
+
+let occupancy t =
+  Array.fold_left (fun n tag -> if tag >= 0 then n + 1 else n) 0 t.tags
+
+let dirty_lines t =
+  let n = ref 0 in
+  Array.iteri (fun i tag -> if tag >= 0 && t.dirty.(i) then incr n) t.tags;
+  !n
+
+let stats_allocations t source = t.allocs.(source_index source)
+let stats_evictions_caused_by t source = t.evictions.(source_index source)
+
+let reset_stats t =
+  Array.fill t.allocs 0 n_sources 0;
+  Array.fill t.evictions 0 n_sources 0

@@ -1,0 +1,231 @@
+type t = {
+  ptegs : int;
+  base : Addr.pa;
+  entries : Pte.t array;  (* pteg-major: entries.(pteg * 8 + slot) *)
+  mutable cursor : int;   (* reclaim scan position *)
+}
+
+let slots_per_pteg = 8
+let pte_bytes = 8
+
+let create ?(base_pa = 0x00100000) ~n_ptes () =
+  let ptegs = n_ptes / slots_per_pteg in
+  if ptegs <= 0 || ptegs land (ptegs - 1) <> 0 then
+    invalid_arg "Htab.create: n_ptes/8 must be a positive power of two";
+  { ptegs;
+    base = base_pa;
+    entries = Array.init n_ptes (fun _ -> Pte.invalid ());
+    cursor = 0 }
+
+let n_ptegs t = t.ptegs
+let capacity t = Array.length t.entries
+let base_pa t = t.base
+
+let pte_pa t ~pteg ~slot =
+  t.base + (((pteg * slots_per_pteg) + slot) * pte_bytes)
+
+let hash1 t ~vsid ~page_index =
+  Pte.hash_primary ~n_ptegs:t.ptegs ~vsid ~page_index
+
+let hash2 t ~primary = Pte.hash_secondary ~n_ptegs:t.ptegs ~primary
+
+(* Search one PTEG for a matching entry, reporting each slot examined. *)
+let search_pteg t ~pteg ~vsid ~page_index ~on_ref =
+  let base = pteg * slots_per_pteg in
+  let rec loop slot =
+    if slot >= slots_per_pteg then None
+    else begin
+      on_ref (pte_pa t ~pteg ~slot);
+      let pte = t.entries.(base + slot) in
+      if Pte.matches pte ~vsid ~page_index then Some pte else loop (slot + 1)
+    end
+  in
+  loop 0
+
+let search t ~vsid ~page_index ~on_ref =
+  let p = hash1 t ~vsid ~page_index in
+  match search_pteg t ~pteg:p ~vsid ~page_index ~on_ref with
+  | Some _ as hit -> hit
+  | None ->
+      let s = hash2 t ~primary:p in
+      search_pteg t ~pteg:s ~vsid ~page_index ~on_ref
+
+type replacement =
+  | Arbitrary
+  | Second_chance
+  | Prefer_zombie of (int -> bool)
+
+type insert_outcome =
+  | Filled_empty
+  | Replaced of Pte.t
+
+(* Find a reusable slot in a PTEG: an entry with the same tag (update in
+   place) or an invalid slot.  Reports references. *)
+let find_free t ~pteg ~vsid ~page_index ~on_ref =
+  let base = pteg * slots_per_pteg in
+  let free = ref (-1) in
+  let same = ref (-1) in
+  for slot = 0 to slots_per_pteg - 1 do
+    on_ref (pte_pa t ~pteg ~slot);
+    let pte = t.entries.(base + slot) in
+    if Pte.matches pte ~vsid ~page_index then same := slot
+    else if (not pte.Pte.valid) && !free < 0 then free := slot
+  done;
+  if !same >= 0 then Some !same else if !free >= 0 then Some !free else None
+
+let write_entry t ~pteg ~slot ~secondary ~vsid ~page_index ~rpn ~wimg
+    ~protection =
+  let e = t.entries.((pteg * slots_per_pteg) + slot) in
+  e.Pte.valid <- true;
+  e.Pte.vsid <- vsid land 0xFFFFFF;
+  e.Pte.page_index <- page_index land 0xFFFF;
+  e.Pte.rpn <- rpn land 0xFFFFF;
+  e.Pte.secondary <- secondary;
+  e.Pte.referenced <- true;
+  e.Pte.changed <- false;
+  e.Pte.wimg <- wimg;
+  e.Pte.protection <- protection
+
+(* Second-chance victim selection over the 16 candidate slots: an
+   unreferenced entry if one exists, else strip every R bit and choose
+   arbitrarily. *)
+let pick_victim_second_chance t ~rng ~primary ~secondary ~on_ref =
+  let candidate = ref None in
+  let examine pteg =
+    for slot = 0 to slots_per_pteg - 1 do
+      on_ref (pte_pa t ~pteg ~slot);
+      let pte = t.entries.((pteg * slots_per_pteg) + slot) in
+      if (not pte.Pte.referenced) && !candidate = None then
+        candidate := Some (pteg, slot)
+    done
+  in
+  examine primary;
+  (match !candidate with None -> examine secondary | Some _ -> ());
+  match !candidate with
+  | Some c -> c
+  | None ->
+      (* everyone was referenced: second chance for all *)
+      List.iter
+        (fun pteg ->
+          for slot = 0 to slots_per_pteg - 1 do
+            t.entries.((pteg * slots_per_pteg) + slot).Pte.referenced <- false
+          done)
+        [ primary; secondary ];
+      let in_secondary = Rng.bool rng in
+      ((if in_secondary then secondary else primary), Rng.int rng slots_per_pteg)
+
+(* Zombie-aware victim selection: the first entry whose VSID the
+   predicate marks dead; arbitrary if the 16 candidates are all live. *)
+let pick_victim_zombie t ~rng ~is_zombie ~primary ~secondary ~on_ref =
+  let candidate = ref None in
+  let examine pteg =
+    for slot = 0 to slots_per_pteg - 1 do
+      if !candidate = None then begin
+        on_ref (pte_pa t ~pteg ~slot);
+        let pte = t.entries.((pteg * slots_per_pteg) + slot) in
+        if is_zombie pte.Pte.vsid then candidate := Some (pteg, slot)
+      end
+    done
+  in
+  examine primary;
+  (match !candidate with None -> examine secondary | Some _ -> ());
+  match !candidate with
+  | Some c -> c
+  | None ->
+      let in_secondary = Rng.bool rng in
+      ((if in_secondary then secondary else primary), Rng.int rng slots_per_pteg)
+
+let insert ?(policy = Arbitrary) t ~rng ~vsid ~page_index ~rpn ~wimg
+    ~protection ~on_ref =
+  let p = hash1 t ~vsid ~page_index in
+  match find_free t ~pteg:p ~vsid ~page_index ~on_ref with
+  | Some slot ->
+      write_entry t ~pteg:p ~slot ~secondary:false ~vsid ~page_index ~rpn
+        ~wimg ~protection;
+      Filled_empty
+  | None -> begin
+      let s = hash2 t ~primary:p in
+      match find_free t ~pteg:s ~vsid ~page_index ~on_ref with
+      | Some slot ->
+          write_entry t ~pteg:s ~slot ~secondary:true ~vsid ~page_index ~rpn
+            ~wimg ~protection;
+          Filled_empty
+      | None ->
+          (* Both PTEGs full: pick a victim without checking whether its
+             VSID is live (the hardware view cannot tell). *)
+          let pteg, slot =
+            match policy with
+            | Arbitrary ->
+                let in_secondary = Rng.bool rng in
+                ((if in_secondary then s else p), Rng.int rng slots_per_pteg)
+            | Second_chance ->
+                pick_victim_second_chance t ~rng ~primary:p ~secondary:s
+                  ~on_ref
+            | Prefer_zombie is_zombie ->
+                pick_victim_zombie t ~rng ~is_zombie ~primary:p ~secondary:s
+                  ~on_ref
+          in
+          let in_secondary = pteg = s in
+          let victim = t.entries.((pteg * slots_per_pteg) + slot) in
+          let victim_copy =
+            Pte.make ~secondary:victim.Pte.secondary ~wimg:victim.Pte.wimg
+              ~protection:victim.Pte.protection ~vsid:victim.Pte.vsid
+              ~page_index:victim.Pte.page_index ~rpn:victim.Pte.rpn ()
+          in
+          on_ref (pte_pa t ~pteg ~slot);
+          write_entry t ~pteg ~slot ~secondary:in_secondary ~vsid ~page_index
+            ~rpn ~wimg ~protection;
+          Replaced victim_copy
+    end
+
+let invalidate_page t ~vsid ~page_index ~on_ref =
+  match search t ~vsid ~page_index ~on_ref with
+  | Some pte ->
+      pte.Pte.valid <- false;
+      true
+  | None -> false
+
+let reclaim_zombies t ~is_zombie ~max_ptes ~on_ref =
+  let total = capacity t in
+  let budget = min max_ptes total in
+  let reclaimed = ref 0 in
+  for _ = 1 to budget do
+    let i = t.cursor in
+    t.cursor <- (t.cursor + 1) mod total;
+    let pteg = i / slots_per_pteg and slot = i mod slots_per_pteg in
+    on_ref (pte_pa t ~pteg ~slot);
+    let pte = t.entries.(i) in
+    if pte.Pte.valid && is_zombie pte.Pte.vsid then begin
+      pte.Pte.valid <- false;
+      incr reclaimed
+    end
+  done;
+  !reclaimed
+
+let occupancy t =
+  Array.fold_left
+    (fun n pte -> if pte.Pte.valid then n + 1 else n)
+    0 t.entries
+
+let count_valid t ~f =
+  Array.fold_left
+    (fun n pte -> if pte.Pte.valid && f pte then n + 1 else n)
+    0 t.entries
+
+let iter_valid t ~f =
+  Array.iter (fun pte -> if pte.Pte.valid then f pte) t.entries
+
+let clear t =
+  Array.iter (fun pte -> pte.Pte.valid <- false) t.entries;
+  t.cursor <- 0
+
+let histogram t =
+  let h = Array.make (slots_per_pteg + 1) 0 in
+  for pteg = 0 to t.ptegs - 1 do
+    let valid = ref 0 in
+    for slot = 0 to slots_per_pteg - 1 do
+      if t.entries.((pteg * slots_per_pteg) + slot).Pte.valid then incr valid
+    done;
+    h.(!valid) <- h.(!valid) + 1
+  done;
+  h

@@ -1,0 +1,115 @@
+(** The PowerPC hashed page table ("htab").
+
+    The htab is an array of PTE groups (PTEGs) of eight entries.  A
+    primary hash of (VSID, page index) selects one PTEG; its one's
+    complement selects the secondary/overflow PTEG, so a full search
+    examines up to 16 PTEs — the "16 memory references" the paper charges
+    to every precise flush and hardware reload.
+
+    The structure itself is policy-free: it reports which physical PTE
+    slots a search touched (via [on_ref]) so the MMU can drive them
+    through the data cache, and it exposes zombie accounting hooks so the
+    idle-task reclaim of §7 can be measured.  A "zombie" PTE is one whose
+    valid bit is still set but whose VSID belongs to a retired memory
+    context; the hardware cannot tell it from a live entry. *)
+
+type t
+
+val create : ?base_pa:Addr.pa -> n_ptes:int -> unit -> t
+(** [create ~n_ptes ()] builds an empty table of [n_ptes] entries
+    ([n_ptes / 8] PTEGs; must make a power of two).  [base_pa] locates the
+    table in physical memory for cache modeling (default [0x00100000]). *)
+
+val n_ptegs : t -> int
+
+val capacity : t -> int
+(** Total PTE slots. *)
+
+val base_pa : t -> Addr.pa
+
+val pte_pa : t -> pteg:int -> slot:int -> Addr.pa
+(** Physical address of one 8-byte PTE slot. *)
+
+val search :
+  t ->
+  vsid:int ->
+  page_index:int ->
+  on_ref:(Addr.pa -> unit) ->
+  Pte.t option
+(** [search t ~vsid ~page_index ~on_ref] looks through the primary PTEG
+    then the secondary PTEG, calling [on_ref] with the physical address of
+    every PTE slot examined (matching hardware search order: a hit in slot
+    [k] of the primary group costs [k+1] references). *)
+
+(** Victim selection when both PTEGs are full.
+
+    - [Arbitrary] is the paper's shipped policy ("it chose an arbitrary
+      PTE to replace ... not checking if it has a currently valid VSID").
+    - [Second_chance] prefers a victim whose R bit is clear; when every
+      entry has been referenced it strips the R bits (a second chance)
+      and falls back to an arbitrary choice.
+    - [Prefer_zombie p] is the design the paper rejected for the hot
+      path: consult the VSID-liveness predicate [p] and evict a zombie
+      when one exists — correctness-equivalent but paying a software
+      check per candidate on every overflow (the cost §7 moved into the
+      idle task instead). *)
+type replacement =
+  | Arbitrary
+  | Second_chance
+  | Prefer_zombie of (int -> bool)
+
+type insert_outcome =
+  | Filled_empty        (** an invalid slot was available *)
+  | Replaced of Pte.t   (** a valid entry was displaced (copy of victim) *)
+
+val insert :
+  ?policy:replacement ->
+  t ->
+  rng:Rng.t ->
+  vsid:int ->
+  page_index:int ->
+  rpn:int ->
+  wimg:Pte.wimg ->
+  protection:Pte.protection ->
+  on_ref:(Addr.pa -> unit) ->
+  insert_outcome
+(** [insert t ~rng ...] places a PTE, preferring an invalid slot in the
+    primary PTEG, then in the secondary PTEG; when both groups are full a
+    victim is displaced according to [policy] (default [Arbitrary] — the
+    paper's non-optimal replacement, which cannot tell a zombie from a
+    live entry).  If an entry with the same tag already exists it is
+    updated in place ([Filled_empty]). *)
+
+val invalidate_page :
+  t -> vsid:int -> page_index:int -> on_ref:(Addr.pa -> unit) -> bool
+(** [invalidate_page t ~vsid ~page_index ~on_ref] performs the precise
+    per-page flush: search both PTEGs and clear the valid bit if found.
+    Returns whether an entry was invalidated. *)
+
+val reclaim_zombies :
+  t ->
+  is_zombie:(int -> bool) ->
+  max_ptes:int ->
+  on_ref:(Addr.pa -> unit) ->
+  int
+(** [reclaim_zombies t ~is_zombie ~max_ptes ~on_ref] is the idle-task
+    scan: examine up to [max_ptes] slots starting from a persistent
+    cursor, clearing the valid bit of every PTE whose VSID satisfies
+    [is_zombie].  Returns the number reclaimed.  The cursor survives
+    across calls so repeated idle slices cover the whole table. *)
+
+val occupancy : t -> int
+(** Number of valid PTEs (live + zombie: what the hardware sees). *)
+
+val count_valid : t -> f:(Pte.t -> bool) -> int
+(** Count valid entries satisfying [f] (e.g. live vs zombie split). *)
+
+val iter_valid : t -> f:(Pte.t -> unit) -> unit
+
+val clear : t -> unit
+(** Invalidate every entry. *)
+
+val histogram : t -> int array
+(** [histogram t].(k) = number of PTEGs with exactly [k] valid entries
+    (k in 0..8) — the hash-miss histogram Linux kept to tune the VSID
+    multiplier (§5.2). *)

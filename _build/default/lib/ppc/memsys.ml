@@ -1,0 +1,108 @@
+type t = {
+  machine : Machine.t;
+  perf : Perf.t;
+  icache : Cache.t;
+  dcache : Cache.t;
+  mutable idle : bool;
+}
+
+let create ~machine ~perf =
+  { machine;
+    perf;
+    icache =
+      Cache.create ~bytes:machine.Machine.icache.Machine.cache_bytes
+        ~ways:machine.Machine.icache.Machine.cache_ways;
+    dcache =
+      Cache.create ~bytes:machine.Machine.dcache.Machine.cache_bytes
+        ~ways:machine.Machine.dcache.Machine.cache_ways;
+    idle = false }
+
+let machine t = t.machine
+let perf t = t.perf
+let icache t = t.icache
+let dcache t = t.dcache
+
+let set_idle t b = t.idle <- b
+let in_idle t = t.idle
+
+let charge t cycles =
+  t.perf.Perf.cycles <- t.perf.Perf.cycles + cycles;
+  if t.idle then t.perf.Perf.idle_cycles <- t.perf.Perf.idle_cycles + cycles
+
+(* A write-back of a dirty victim is a posted store: it overlaps with
+   execution, so we charge half the memory latency. *)
+let writeback_cost t = t.machine.Machine.mem_latency / 2
+
+let charge_writeback t dirty_writeback =
+  if dirty_writeback then begin
+    t.perf.Perf.dcache_writebacks <- t.perf.Perf.dcache_writebacks + 1;
+    charge t (writeback_cost t)
+  end
+
+let data_ref t ~source ~inhibited ~write pa =
+  let p = t.perf in
+  p.Perf.dcache_accesses <- p.Perf.dcache_accesses + 1;
+  match Cache.access t.dcache ~source ~inhibited ~write pa with
+  | Cache.Hit -> charge t Cost.cache_hit_cycles
+  | Cache.Miss { dirty_writeback } ->
+      p.Perf.dcache_misses <- p.Perf.dcache_misses + 1;
+      charge t t.machine.Machine.mem_latency;
+      charge_writeback t dirty_writeback
+  | Cache.Bypass ->
+      p.Perf.dcache_bypasses <- p.Perf.dcache_bypasses + 1;
+      charge t t.machine.Machine.mem_latency
+
+let inst_ref t pa =
+  let p = t.perf in
+  p.Perf.icache_accesses <- p.Perf.icache_accesses + 1;
+  match
+    Cache.access t.icache ~source:Cache.Kernel ~inhibited:false ~write:false
+      pa
+  with
+  | Cache.Hit -> charge t Cost.cache_hit_cycles
+  | Cache.Miss _ | Cache.Bypass ->
+      p.Perf.icache_misses <- p.Perf.icache_misses + 1;
+      charge t t.machine.Machine.mem_latency
+
+let dcbz t ~source pa =
+  let p = t.perf in
+  p.Perf.dcache_accesses <- p.Perf.dcache_accesses + 1;
+  match Cache.allocate_zero t.dcache ~source pa with
+  | Cache.Hit -> charge t Cost.dcbz_cycles
+  | Cache.Miss { dirty_writeback } ->
+      charge t Cost.dcbz_cycles;
+      charge_writeback t dirty_writeback
+  | Cache.Bypass ->
+      (* locked cache: the zeroing goes to memory *)
+      p.Perf.dcache_bypasses <- p.Perf.dcache_bypasses + 1;
+      charge t t.machine.Machine.mem_latency
+
+(* A software-prefetch hint (dcbt, §10.2): starts the fill early so the
+   demand access hits; the fill itself overlaps execution. *)
+let prefetch t ~source pa =
+  ignore (Cache.access t.dcache ~source ~inhibited:false ~write:false pa
+           : Cache.result);
+  charge t Cost.prefetch_cycles
+
+let set_cache_locked t b =
+  Cache.set_locked t.icache b;
+  Cache.set_locked t.dcache b
+
+let instructions t n =
+  t.perf.Perf.instructions <- t.perf.Perf.instructions + n;
+  charge t n
+
+let stall t n = charge t n
+
+let copy_lines t ~source ~src ~dst ~bytes =
+  let lines = (bytes + Addr.line_size - 1) / Addr.line_size in
+  for i = 0 to lines - 1 do
+    data_ref t ~source ~inhibited:false ~write:false
+      (src + (i * Addr.line_size));
+    data_ref t ~source ~inhibited:false ~write:true (dst + (i * Addr.line_size))
+  done;
+  (* one cycle per word moved *)
+  instructions t (bytes / 4)
+
+let us_elapsed t =
+  Cost.us_of_cycles ~mhz:t.machine.Machine.mhz t.perf.Perf.cycles

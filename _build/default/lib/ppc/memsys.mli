@@ -1,0 +1,67 @@
+(** The memory system: caches + cycle accounting.
+
+    Every simulated memory reference and instruction flows through this
+    module so that cycle charges and counters stay consistent: a cache hit
+    costs one cycle, a miss or a cache-inhibited access costs the
+    machine's memory latency, and an instruction costs one cycle (both
+    the 603 and 604 approach one instruction per cycle on hot code; stalls
+    are captured by the explicit miss costs).
+
+    The [idle] flag routes cycle charges to the idle counter as well, so
+    experiments can separate idle-task work (zombie reclaim, page
+    clearing) from foreground work. *)
+
+type t
+
+val create : machine:Machine.t -> perf:Perf.t -> t
+
+val machine : t -> Machine.t
+val perf : t -> Perf.t
+val icache : t -> Cache.t
+val dcache : t -> Cache.t
+
+val set_idle : t -> bool -> unit
+(** While set, all cycles charged also count as idle cycles. *)
+
+val in_idle : t -> bool
+
+val data_ref :
+  t -> source:Cache.source -> inhibited:bool -> write:bool -> Addr.pa -> unit
+(** One data reference: drives the D-cache and charges cycles.  A store
+    dirties its line; evicting a dirty line later costs a (half-latency,
+    posted) write-back. *)
+
+val inst_ref : t -> Addr.pa -> unit
+(** One instruction fetch reference: drives the I-cache. *)
+
+val dcbz : t -> source:Cache.source -> Addr.pa -> unit
+(** One [dcbz]: allocate-and-zero the line containing the address in the
+    D-cache without fetching it from memory.  Costs {!Cost.dcbz_cycles}
+    (plus any dirty write-back); pollutes by eviction, never by fetch. *)
+
+val prefetch : t -> source:Cache.source -> Addr.pa -> unit
+(** One [dcbt]-style prefetch hint (§10.2): brings the line in while
+    execution continues — the fill is overlapped, so only
+    {!Cost.prefetch_cycles} are charged. *)
+
+val set_cache_locked : t -> bool -> unit
+(** §10.1: lock/unlock both L1 caches — while locked, misses do not
+    allocate, so the contents cannot be displaced. *)
+
+val instructions : t -> int -> unit
+(** [instructions t n] charges [n] instructions at one cycle each —
+    path-length accounting for code whose individual fetches are not
+    simulated. *)
+
+val stall : t -> int -> unit
+(** [stall t n] charges [n] raw cycles (trap overheads, fixed hardware
+    costs). *)
+
+val copy_lines : t -> source:Cache.source -> src:Addr.pa -> dst:Addr.pa -> bytes:int -> unit
+(** [copy_lines t ~source ~src ~dst ~bytes] models a block copy at
+    cache-line granularity: one read reference per source line and one
+    write reference per destination line, plus one cycle per 4-byte word
+    moved. *)
+
+val us_elapsed : t -> float
+(** Total cycles so far converted to microseconds at the machine clock. *)

@@ -1,0 +1,371 @@
+type knobs = {
+  use_htab : bool;
+  fast_reload : bool;
+  cache_inhibit_pagetables : bool;
+  htab_replacement : [ `Arbitrary | `Second_chance | `Zombie_aware ];
+}
+
+let default_knobs =
+  { use_htab = true;
+    fast_reload = true;
+    cache_inhibit_pagetables = false;
+    htab_replacement = `Arbitrary }
+
+type walk_result =
+  | Mapped of {
+      rpn : int;
+      wimg : Pte.wimg;
+      protection : Pte.protection;
+      pt_refs : Addr.pa array;
+    }
+  | Unmapped of { pt_refs : Addr.pa array }
+
+type backing = { walk : Addr.ea -> walk_result }
+
+type access_kind =
+  | Fetch
+  | Load
+  | Store
+
+type access_result =
+  | Ok of Addr.pa
+  | Fault
+
+type t = {
+  machine : Machine.t;
+  memsys : Memsys.t;
+  knobs : knobs;
+  seg : Segment.t;
+  ibat : Bat.t;
+  dbat : Bat.t;
+  itlb : Tlb.t;
+  dtlb : Tlb.t;
+  htab : Htab.t option;
+  mutable backing : backing;
+  mutable is_zombie : int -> bool;
+  rng : Rng.t;
+}
+
+(* Physical address region where the C handlers save/restore state. *)
+let handler_stack_pa = 0x0000_8000
+
+let create ?(htab_base_pa = 0x0030_0000) ~machine ~memsys ~knobs ~backing ~rng
+    () =
+  let hardware = machine.Machine.reload = Machine.Hardware_search in
+  (* A hardware-reload machine cannot bypass the htab. *)
+  let knobs = if hardware then { knobs with use_htab = true } else knobs in
+  let tlb_of (g : Machine.tlb_geometry) =
+    Tlb.create ~sets:g.Machine.tlb_sets ~ways:g.Machine.tlb_ways
+  in
+  { machine;
+    memsys;
+    knobs;
+    seg = Segment.create ();
+    ibat = Bat.create ();
+    dbat = Bat.create ();
+    itlb = tlb_of machine.Machine.itlb;
+    dtlb = tlb_of machine.Machine.dtlb;
+    htab =
+      (if knobs.use_htab then
+         Some
+           (Htab.create ~base_pa:htab_base_pa
+              ~n_ptes:machine.Machine.htab_ptes ())
+       else None);
+    backing;
+    is_zombie = (fun _ -> false);
+    rng }
+
+let machine t = t.machine
+let memsys t = t.memsys
+let knobs t = t.knobs
+let segments t = t.seg
+let ibat t = t.ibat
+let dbat t = t.dbat
+let itlb t = t.itlb
+let dtlb t = t.dtlb
+let htab t = t.htab
+
+let set_backing t backing = t.backing <- backing
+let set_vsid_is_zombie t f = t.is_zombie <- f
+
+let perf t = Memsys.perf t.memsys
+
+(* --- cost-charging reference helpers ------------------------------- *)
+
+let pt_ref t pa =
+  (perf t).Perf.mem_refs <- (perf t).Perf.mem_refs + 1;
+  Memsys.data_ref t.memsys ~source:Cache.Page_table
+    ~inhibited:t.knobs.cache_inhibit_pagetables ~write:false pa
+
+let htab_ref t pa =
+  (perf t).Perf.mem_refs <- (perf t).Perf.mem_refs + 1;
+  Memsys.data_ref t.memsys ~source:Cache.Htab
+    ~inhibited:t.knobs.cache_inhibit_pagetables ~write:false pa
+
+(* Software examination of a PTE costs a few compare/branch instructions
+   on top of the memory reference; hardware search does not. *)
+let sw_htab_ref t pa =
+  Memsys.instructions t.memsys 4;
+  htab_ref t pa
+
+(* Handler path length: fast assembly vs original C with state save. *)
+let handler t ~fast ~slow ~slow_stack_refs =
+  if t.knobs.fast_reload then Memsys.instructions t.memsys fast
+  else begin
+    Memsys.instructions t.memsys slow;
+    for i = 0 to slow_stack_refs - 1 do
+      Memsys.data_ref t.memsys ~source:Cache.Kernel ~inhibited:false
+        ~write:true
+        (handler_stack_pa + (i * Addr.line_size))
+    done
+  end
+
+(* --- reload paths ---------------------------------------------------- *)
+
+(* Software fill after every faster mechanism missed: walk the Linux page
+   tables and, when an htab exists, place the PTE there (possibly
+   displacing a valid entry without checking VSID liveness). *)
+let walk_and_fill t ~vsid ~ea ~page_index ~store =
+  match t.backing.walk ea with
+  | Unmapped { pt_refs } ->
+      Array.iter (pt_ref t) pt_refs;
+      None
+  | Mapped { rpn; wimg; protection; pt_refs } ->
+      Array.iter (pt_ref t) pt_refs;
+      (match t.htab with
+      | None -> ()
+      | Some h ->
+          handler t ~fast:Cost.htab_insert_fast_instr
+            ~slow:Cost.htab_insert_slow_instr
+            ~slow_stack_refs:Cost.htab_insert_slow_stack_refs;
+          let p = perf t in
+          p.Perf.htab_reloads <- p.Perf.htab_reloads + 1;
+          let policy =
+            match t.knobs.htab_replacement with
+            | `Arbitrary -> Htab.Arbitrary
+            | `Second_chance -> Htab.Second_chance
+            | `Zombie_aware -> Htab.Prefer_zombie t.is_zombie
+          in
+          (match
+             Htab.insert h ~policy ~rng:t.rng ~vsid ~page_index ~rpn ~wimg
+               ~protection ~on_ref:(htab_ref t)
+           with
+          | Htab.Filled_empty ->
+              (* "we updated the page-table PTE dirty/modified bits when
+                 we loaded the PTE into the hash table" (§7): R is set at
+                 reload, C eagerly for stores, so a later flush is a pure
+                 invalidate. *)
+              if store then
+                (match
+                   Htab.search h ~vsid ~page_index ~on_ref:(fun _ -> ())
+                 with
+                | Some pte -> pte.Pte.changed <- true
+                | None -> ())
+          | Htab.Replaced victim ->
+              (* the rejected design pays a software liveness check per
+                 candidate right in the reload path *)
+              if t.knobs.htab_replacement = `Zombie_aware then
+                Memsys.instructions t.memsys Cost.zombie_check_instr;
+              p.Perf.htab_evicts <- p.Perf.htab_evicts + 1;
+              if t.is_zombie victim.Pte.vsid then
+                p.Perf.htab_evicts_zombie <- p.Perf.htab_evicts_zombie + 1
+              else p.Perf.htab_evicts_live <- p.Perf.htab_evicts_live + 1));
+      Some (rpn, wimg, protection)
+
+let search_htab t h ~vsid ~page_index ~software =
+  let p = perf t in
+  p.Perf.htab_searches <- p.Perf.htab_searches + 1;
+  let on_ref = if software then sw_htab_ref t else htab_ref t in
+  match Htab.search h ~vsid ~page_index ~on_ref with
+  | Some pte ->
+      p.Perf.htab_hits <- p.Perf.htab_hits + 1;
+      pte.Pte.referenced <- true;
+      Some (pte.Pte.rpn, pte.Pte.wimg, pte.Pte.protection)
+  | None ->
+      p.Perf.htab_misses <- p.Perf.htab_misses + 1;
+      None
+
+let reload t ~vsid ~ea ~store =
+  let page_index = Addr.page_index ea in
+  match t.machine.Machine.reload with
+  | Machine.Hardware_search -> begin
+      (* The 604 searches the htab in hardware... *)
+      Memsys.stall t.memsys Cost.hw_search_overhead_cycles;
+      let h = Option.get t.htab in
+      match search_htab t h ~vsid ~page_index ~software:false with
+      | Some _ as hit -> hit
+      | None ->
+          (* ...and traps to software only on a hash-table miss. *)
+          Memsys.stall t.memsys Cost.htab_miss_trap_cycles;
+          handler t ~fast:Cost.sw_reload_fast_instr
+            ~slow:Cost.sw_reload_slow_instr
+            ~slow_stack_refs:Cost.sw_reload_slow_stack_refs;
+          walk_and_fill t ~vsid ~ea ~page_index ~store
+    end
+  | Machine.Software_trap -> begin
+      (* The 603 traps on every TLB miss. *)
+      Memsys.stall t.memsys Cost.tlb_miss_trap_cycles;
+      handler t ~fast:Cost.sw_reload_fast_instr
+        ~slow:Cost.sw_reload_slow_instr
+        ~slow_stack_refs:Cost.sw_reload_slow_stack_refs;
+      match t.htab with
+      | Some h -> begin
+          (* pre-§6.2 code: emulate the 604's hardware search in software;
+             computing the hash and PTEG addresses costs instructions the
+             direct page-table walk does not *)
+          Memsys.instructions t.memsys Cost.sw_hash_setup_instr;
+          match search_htab t h ~vsid ~page_index ~software:true with
+          | Some _ as hit -> hit
+          | None -> walk_and_fill t ~vsid ~ea ~page_index ~store
+        end
+      | None ->
+          (* §6.2: no htab — straight to the Linux PTE tree. *)
+          walk_and_fill t ~vsid ~ea ~page_index ~store
+    end
+
+(* --- the access path -------------------------------------------------- *)
+
+let final_ref t kind pa ~inhibited ~source =
+  match kind with
+  | Fetch -> Memsys.inst_ref t.memsys pa
+  | Load -> Memsys.data_ref t.memsys ~source ~inhibited ~write:false pa
+  | Store -> Memsys.data_ref t.memsys ~source ~inhibited ~write:true pa
+
+let count_lookup t kind =
+  let p = perf t in
+  match kind with
+  | Fetch -> p.Perf.itlb_lookups <- p.Perf.itlb_lookups + 1
+  | Load | Store -> p.Perf.dtlb_lookups <- p.Perf.dtlb_lookups + 1
+
+let count_miss t kind =
+  let p = perf t in
+  match kind with
+  | Fetch -> p.Perf.itlb_misses <- p.Perf.itlb_misses + 1
+  | Load | Store -> p.Perf.dtlb_misses <- p.Perf.dtlb_misses + 1
+
+let source_of_ea ea =
+  if Segment.is_kernel_ea ea then Cache.Kernel else Cache.User
+
+let access t kind ea =
+  let ea = ea land Addr.ea_mask in
+  let source = source_of_ea ea in
+  let bat = match kind with Fetch -> t.ibat | Load | Store -> t.dbat in
+  match Bat.translate bat ea with
+  | Some pa ->
+      final_ref t kind pa ~inhibited:false ~source;
+      Ok pa
+  | None -> begin
+      let vsid = Segment.vsid_for t.seg ea in
+      let vpn = Addr.vpn_of ~vsid ~ea in
+      let tlb = match kind with Fetch -> t.itlb | Load | Store -> t.dtlb in
+      count_lookup t kind;
+      match Tlb.lookup tlb vpn with
+      | Some e ->
+          if kind = Store && not e.Tlb.writable then Fault
+          else begin
+            let pa = Addr.pa_of ~rpn:e.Tlb.rpn ~ea in
+            final_ref t kind pa ~inhibited:e.Tlb.inhibited ~source;
+            Ok pa
+          end
+      | None -> begin
+          count_miss t kind;
+          match reload t ~vsid ~ea ~store:(kind = Store) with
+          | None -> Fault
+          | Some (rpn, wimg, protection) ->
+              let entry =
+                { Tlb.vpn;
+                  rpn;
+                  inhibited = wimg.Pte.cache_inhibited;
+                  writable = protection = Pte.Read_write }
+              in
+              Tlb.insert tlb entry;
+              if kind = Store && not entry.Tlb.writable then Fault
+              else begin
+                let pa = Addr.pa_of ~rpn ~ea in
+                final_ref t kind pa ~inhibited:entry.Tlb.inhibited ~source;
+                Ok pa
+              end
+        end
+    end
+
+let probe t kind ea =
+  let ea = ea land Addr.ea_mask in
+  let bat = match kind with Fetch -> t.ibat | Load | Store -> t.dbat in
+  match Bat.translate bat ea with
+  | Some pa -> Some pa
+  | None -> begin
+      let vsid = Segment.vsid_for t.seg ea in
+      let vpn = Addr.vpn_of ~vsid ~ea in
+      let tlb = match kind with Fetch -> t.itlb | Load | Store -> t.dtlb in
+      let writable_result protection pa =
+        if kind = Store && protection <> Pte.Read_write then None else Some pa
+      in
+      match Tlb.peek tlb vpn with
+      | Some e ->
+          if kind = Store && not e.Tlb.writable then None
+          else Some (Addr.pa_of ~rpn:e.Tlb.rpn ~ea)
+      | None -> begin
+          let ignore_ref (_ : Addr.pa) = () in
+          let from_htab =
+            match t.htab with
+            | None -> None
+            | Some h ->
+                Htab.search h ~vsid ~page_index:(Addr.page_index ea)
+                  ~on_ref:ignore_ref
+          in
+          match from_htab with
+          | Some pte ->
+              writable_result pte.Pte.protection (Addr.pa_of ~rpn:pte.Pte.rpn ~ea)
+          | None -> begin
+              match t.backing.walk ea with
+              | Unmapped _ -> None
+              | Mapped { rpn; protection; _ } ->
+                  writable_result protection (Addr.pa_of ~rpn ~ea)
+            end
+        end
+    end
+
+(* --- flush and idle-task operations ---------------------------------- *)
+
+let tlbie_cycles = 4
+
+let flush_page_for_vsid t ~vsid ea =
+  let vpn = Addr.vpn_of ~vsid ~ea in
+  Memsys.stall t.memsys tlbie_cycles;
+  Memsys.instructions t.memsys 6;
+  Tlb.invalidate_page t.itlb vpn;
+  Tlb.invalidate_page t.dtlb vpn;
+  match t.htab with
+  | None -> ()
+  | Some h ->
+      let p = perf t in
+      p.Perf.flush_pte_searches <- p.Perf.flush_pte_searches + 1;
+      ignore
+        (Htab.invalidate_page h ~vsid ~page_index:(Addr.page_index ea)
+           ~on_ref:(htab_ref t)
+          : bool)
+
+let flush_page t ea =
+  flush_page_for_vsid t ~vsid:(Segment.vsid_for t.seg ea) ea
+
+let invalidate_tlbs t =
+  Tlb.invalidate_all t.itlb;
+  Tlb.invalidate_all t.dtlb
+
+let reclaim_zombies t ~max_ptes =
+  match t.htab with
+  | None -> 0
+  | Some h ->
+      let reclaimed =
+        Htab.reclaim_zombies h ~is_zombie:t.is_zombie ~max_ptes
+          ~on_ref:(htab_ref t)
+      in
+      let p = perf t in
+      p.Perf.zombies_reclaimed <- p.Perf.zombies_reclaimed + reclaimed;
+      reclaimed
+
+let kernel_tlb_entries t ~is_kernel_vsid =
+  let p vpn = is_kernel_vsid (Addr.vsid_of_vpn vpn) in
+  Tlb.count_matching t.itlb p + Tlb.count_matching t.dtlb p
+
+let tlb_occupancy t = Tlb.occupancy t.itlb + Tlb.occupancy t.dtlb

@@ -1,0 +1,144 @@
+(** The translation engine: BATs, TLBs, hashed page table and reload paths.
+
+    Every access first tries block address translation; a BAT hit bypasses
+    the page machinery entirely.  Otherwise the segment register supplies
+    the VSID, the split TLBs are consulted, and a miss triggers the
+    machine's reload mechanism:
+
+    - {b 604 (hardware search)}: the hardware searches both PTEGs of the
+      htab (its PTE reads go through the data cache — the pollution of
+      §8).  On a hash-table miss a 91-cycle interrupt runs the software
+      fill: walk the Linux page tables, place the PTE into the htab
+      (possibly displacing a valid entry), and retry.
+    - {b 603 with htab} ("emulating the 604", the pre-§6.2 code): a
+      32-cycle trap runs a software htab search, falling through to the
+      same software fill on a miss.
+    - {b 603 without htab} (§6.2, "improving hash tables away"): the trap
+      handler walks the Linux PTE tree directly — three loads worst case —
+      and reloads the TLB; no htab exists at all.
+
+    The handlers come in two generations ({e fast}: the hand-scheduled
+    assembly of §6.1 using only the swapped registers; {e slow}: the
+    original C handlers with state save/restore), selected by [knobs].
+
+    The engine knows nothing about processes: the kernel supplies a
+    [backing] walker resolving an effective address against the current
+    address space, a VSID-liveness predicate for zombie accounting, and
+    programs segments/BATs. *)
+
+(** Reload-path configuration (the §6 optimizations). *)
+type knobs = {
+  use_htab : bool;
+      (** on a software-reload machine, search the htab before the page
+          tables (604 emulation).  Ignored (forced true) on hardware-reload
+          machines, which cannot bypass the htab. *)
+  fast_reload : bool;
+      (** hand-optimized assembly handlers vs original C handlers. *)
+  cache_inhibit_pagetables : bool;
+      (** §8: make page-table and htab references cache-inhibited so
+          reloads do not pollute the data cache. *)
+  htab_replacement : [ `Arbitrary | `Second_chance | `Zombie_aware ];
+      (** victim selection on htab overflow: the paper's arbitrary
+          choice, R-bit second chance, or the rejected design that
+          checks VSID liveness in the reload path ([`Zombie_aware],
+          which also pays {!Cost.zombie_check_instr} per eviction). *)
+}
+
+val default_knobs : knobs
+(** htab in use, fast handlers, cacheable page tables, arbitrary
+    replacement. *)
+
+(** Result of the kernel's page-table walk for one effective address.
+    [pt_refs] are the physical addresses of the page-table entries the
+    walk touched (at most 3 on the Linux two-level tree); the MMU drives
+    them through the data cache. *)
+type walk_result =
+  | Mapped of {
+      rpn : int;
+      wimg : Pte.wimg;
+      protection : Pte.protection;
+      pt_refs : Addr.pa array;
+    }
+  | Unmapped of { pt_refs : Addr.pa array }
+
+type backing = { walk : Addr.ea -> walk_result }
+(** The kernel-provided resolver for the {e current} address space. *)
+
+type access_kind =
+  | Fetch
+  | Load
+  | Store
+
+type access_result =
+  | Ok of Addr.pa
+  | Fault  (** no translation (or a store to a read-only page): the caller
+               must service the fault and retry *)
+
+type t
+
+val create :
+  ?htab_base_pa:Addr.pa ->
+  machine:Machine.t ->
+  memsys:Memsys.t ->
+  knobs:knobs ->
+  backing:backing ->
+  rng:Rng.t ->
+  unit ->
+  t
+(** Builds segments, BAT banks, TLBs and (unless a software-reload machine
+    with [use_htab = false]) the hashed page table, located at
+    [htab_base_pa] in physical memory. *)
+
+val machine : t -> Machine.t
+val memsys : t -> Memsys.t
+val knobs : t -> knobs
+val segments : t -> Segment.t
+val ibat : t -> Bat.t
+val dbat : t -> Bat.t
+val itlb : t -> Tlb.t
+val dtlb : t -> Tlb.t
+
+val htab : t -> Htab.t option
+(** [None] exactly when the htab has been "improved away" (§6.2). *)
+
+val set_backing : t -> backing -> unit
+(** Replace the walker (the kernel does this as [current] changes, or
+    installs one dispatching on [current] itself). *)
+
+val set_vsid_is_zombie : t -> (int -> bool) -> unit
+(** Install the liveness predicate used to classify htab eviction victims
+    and to drive idle reclaim. *)
+
+val access : t -> access_kind -> Addr.ea -> access_result
+(** [access t kind ea] translates and performs one reference, charging all
+    costs (trap overheads, handler path lengths, table-search and
+    page-walk cache traffic, and the final data/instruction reference). *)
+
+val probe : t -> access_kind -> Addr.ea -> Addr.pa option
+(** [probe t kind ea] is the translation [access] would use, computed with
+    {e no} cost charging and {e no} state mutation — the test oracle.
+    Returns [None] when the access would fault. *)
+
+val flush_page : t -> Addr.ea -> unit
+(** Precise per-page flush for the {e current} segment contents: [tlbie]
+    on both TLBs plus an htab search-and-invalidate (16 memory references
+    worst case), charging costs.  Counts one [flush_pte_searches]. *)
+
+val flush_page_for_vsid : t -> vsid:int -> Addr.ea -> unit
+(** Like [flush_page] but for an explicit VSID (flushing another task's
+    mappings). *)
+
+val invalidate_tlbs : t -> unit
+(** Drop every TLB entry (cost-free bookkeeping; used at boot). *)
+
+val reclaim_zombies : t -> max_ptes:int -> int
+(** Idle-task zombie reclaim (§7): scan up to [max_ptes] htab slots from
+    the persistent cursor, invalidating zombie PTEs; charges the scan's
+    memory references.  Returns the number reclaimed; 0 when no htab. *)
+
+val kernel_tlb_entries : t -> is_kernel_vsid:(int -> bool) -> int
+(** Valid TLB entries (I+D) whose VSID satisfies the predicate — the
+    kernel TLB footprint measure of §5.1. *)
+
+val tlb_occupancy : t -> int
+(** Total valid TLB entries (I+D). *)

@@ -1,0 +1,202 @@
+type t = {
+  mutable cycles : int;
+  mutable idle_cycles : int;
+  mutable instructions : int;
+  mutable mem_refs : int;
+  mutable itlb_lookups : int;
+  mutable itlb_misses : int;
+  mutable dtlb_lookups : int;
+  mutable dtlb_misses : int;
+  mutable htab_searches : int;
+  mutable htab_hits : int;
+  mutable htab_misses : int;
+  mutable htab_reloads : int;
+  mutable htab_evicts : int;
+  mutable htab_evicts_live : int;
+  mutable htab_evicts_zombie : int;
+  mutable icache_accesses : int;
+  mutable icache_misses : int;
+  mutable dcache_accesses : int;
+  mutable dcache_misses : int;
+  mutable dcache_bypasses : int;
+  mutable dcache_writebacks : int;
+  mutable page_faults : int;
+  mutable flush_pte_searches : int;
+  mutable flush_context_resets : int;
+  mutable context_switches : int;
+  mutable syscalls : int;
+  mutable zombies_reclaimed : int;
+  mutable pages_cleared_idle : int;
+  mutable prezeroed_hits : int;
+  mutable get_free_page_calls : int;
+}
+
+let create () =
+  { cycles = 0;
+    idle_cycles = 0;
+    instructions = 0;
+    mem_refs = 0;
+    itlb_lookups = 0;
+    itlb_misses = 0;
+    dtlb_lookups = 0;
+    dtlb_misses = 0;
+    htab_searches = 0;
+    htab_hits = 0;
+    htab_misses = 0;
+    htab_reloads = 0;
+    htab_evicts = 0;
+    htab_evicts_live = 0;
+    htab_evicts_zombie = 0;
+    icache_accesses = 0;
+    icache_misses = 0;
+    dcache_accesses = 0;
+    dcache_misses = 0;
+    dcache_bypasses = 0;
+    dcache_writebacks = 0;
+    page_faults = 0;
+    flush_pte_searches = 0;
+    flush_context_resets = 0;
+    context_switches = 0;
+    syscalls = 0;
+    zombies_reclaimed = 0;
+    pages_cleared_idle = 0;
+    prezeroed_hits = 0;
+    get_free_page_calls = 0 }
+
+let reset t =
+  t.cycles <- 0;
+  t.idle_cycles <- 0;
+  t.instructions <- 0;
+  t.mem_refs <- 0;
+  t.itlb_lookups <- 0;
+  t.itlb_misses <- 0;
+  t.dtlb_lookups <- 0;
+  t.dtlb_misses <- 0;
+  t.htab_searches <- 0;
+  t.htab_hits <- 0;
+  t.htab_misses <- 0;
+  t.htab_reloads <- 0;
+  t.htab_evicts <- 0;
+  t.htab_evicts_live <- 0;
+  t.htab_evicts_zombie <- 0;
+  t.icache_accesses <- 0;
+  t.icache_misses <- 0;
+  t.dcache_accesses <- 0;
+  t.dcache_misses <- 0;
+  t.dcache_bypasses <- 0;
+  t.dcache_writebacks <- 0;
+  t.page_faults <- 0;
+  t.flush_pte_searches <- 0;
+  t.flush_context_resets <- 0;
+  t.context_switches <- 0;
+  t.syscalls <- 0;
+  t.zombies_reclaimed <- 0;
+  t.pages_cleared_idle <- 0;
+  t.prezeroed_hits <- 0;
+  t.get_free_page_calls <- 0
+
+let snapshot t =
+  { cycles = t.cycles;
+    idle_cycles = t.idle_cycles;
+    instructions = t.instructions;
+    mem_refs = t.mem_refs;
+    itlb_lookups = t.itlb_lookups;
+    itlb_misses = t.itlb_misses;
+    dtlb_lookups = t.dtlb_lookups;
+    dtlb_misses = t.dtlb_misses;
+    htab_searches = t.htab_searches;
+    htab_hits = t.htab_hits;
+    htab_misses = t.htab_misses;
+    htab_reloads = t.htab_reloads;
+    htab_evicts = t.htab_evicts;
+    htab_evicts_live = t.htab_evicts_live;
+    htab_evicts_zombie = t.htab_evicts_zombie;
+    icache_accesses = t.icache_accesses;
+    icache_misses = t.icache_misses;
+    dcache_accesses = t.dcache_accesses;
+    dcache_misses = t.dcache_misses;
+    dcache_bypasses = t.dcache_bypasses;
+    dcache_writebacks = t.dcache_writebacks;
+    page_faults = t.page_faults;
+    flush_pte_searches = t.flush_pte_searches;
+    flush_context_resets = t.flush_context_resets;
+    context_switches = t.context_switches;
+    syscalls = t.syscalls;
+    zombies_reclaimed = t.zombies_reclaimed;
+    pages_cleared_idle = t.pages_cleared_idle;
+    prezeroed_hits = t.prezeroed_hits;
+    get_free_page_calls = t.get_free_page_calls }
+
+let diff ~after ~before =
+  { cycles = after.cycles - before.cycles;
+    idle_cycles = after.idle_cycles - before.idle_cycles;
+    instructions = after.instructions - before.instructions;
+    mem_refs = after.mem_refs - before.mem_refs;
+    itlb_lookups = after.itlb_lookups - before.itlb_lookups;
+    itlb_misses = after.itlb_misses - before.itlb_misses;
+    dtlb_lookups = after.dtlb_lookups - before.dtlb_lookups;
+    dtlb_misses = after.dtlb_misses - before.dtlb_misses;
+    htab_searches = after.htab_searches - before.htab_searches;
+    htab_hits = after.htab_hits - before.htab_hits;
+    htab_misses = after.htab_misses - before.htab_misses;
+    htab_reloads = after.htab_reloads - before.htab_reloads;
+    htab_evicts = after.htab_evicts - before.htab_evicts;
+    htab_evicts_live = after.htab_evicts_live - before.htab_evicts_live;
+    htab_evicts_zombie = after.htab_evicts_zombie - before.htab_evicts_zombie;
+    icache_accesses = after.icache_accesses - before.icache_accesses;
+    icache_misses = after.icache_misses - before.icache_misses;
+    dcache_accesses = after.dcache_accesses - before.dcache_accesses;
+    dcache_misses = after.dcache_misses - before.dcache_misses;
+    dcache_bypasses = after.dcache_bypasses - before.dcache_bypasses;
+    dcache_writebacks = after.dcache_writebacks - before.dcache_writebacks;
+    page_faults = after.page_faults - before.page_faults;
+    flush_pte_searches = after.flush_pte_searches - before.flush_pte_searches;
+    flush_context_resets =
+      after.flush_context_resets - before.flush_context_resets;
+    context_switches = after.context_switches - before.context_switches;
+    syscalls = after.syscalls - before.syscalls;
+    zombies_reclaimed = after.zombies_reclaimed - before.zombies_reclaimed;
+    pages_cleared_idle = after.pages_cleared_idle - before.pages_cleared_idle;
+    prezeroed_hits = after.prezeroed_hits - before.prezeroed_hits;
+    get_free_page_calls =
+      after.get_free_page_calls - before.get_free_page_calls }
+
+let tlb_misses t = t.itlb_misses + t.dtlb_misses
+let tlb_lookups t = t.itlb_lookups + t.dtlb_lookups
+let cache_misses t = t.icache_misses + t.dcache_misses
+let busy_cycles t = t.cycles - t.idle_cycles
+
+let pp fmt t =
+  let field name v = if v <> 0 then Format.fprintf fmt "  %-22s %d@," name v in
+  Format.fprintf fmt "@[<v>perf counters:@,";
+  field "cycles" t.cycles;
+  field "idle_cycles" t.idle_cycles;
+  field "instructions" t.instructions;
+  field "mem_refs" t.mem_refs;
+  field "itlb_lookups" t.itlb_lookups;
+  field "itlb_misses" t.itlb_misses;
+  field "dtlb_lookups" t.dtlb_lookups;
+  field "dtlb_misses" t.dtlb_misses;
+  field "htab_searches" t.htab_searches;
+  field "htab_hits" t.htab_hits;
+  field "htab_misses" t.htab_misses;
+  field "htab_reloads" t.htab_reloads;
+  field "htab_evicts" t.htab_evicts;
+  field "htab_evicts_live" t.htab_evicts_live;
+  field "htab_evicts_zombie" t.htab_evicts_zombie;
+  field "icache_accesses" t.icache_accesses;
+  field "icache_misses" t.icache_misses;
+  field "dcache_accesses" t.dcache_accesses;
+  field "dcache_misses" t.dcache_misses;
+  field "dcache_bypasses" t.dcache_bypasses;
+  field "dcache_writebacks" t.dcache_writebacks;
+  field "page_faults" t.page_faults;
+  field "flush_pte_searches" t.flush_pte_searches;
+  field "flush_context_resets" t.flush_context_resets;
+  field "context_switches" t.context_switches;
+  field "syscalls" t.syscalls;
+  field "zombies_reclaimed" t.zombies_reclaimed;
+  field "pages_cleared_idle" t.pages_cleared_idle;
+  field "prezeroed_hits" t.prezeroed_hits;
+  field "get_free_page_calls" t.get_free_page_calls;
+  Format.fprintf fmt "@]"

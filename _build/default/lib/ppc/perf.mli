@@ -1,0 +1,75 @@
+(** Performance counters, in the style of the 604 hardware monitor.
+
+    The paper instruments the system with the 604's hardware performance
+    monitor (and software counters on the 603) to count "every TLB and
+    cache miss, whether data or instruction".  This module is that monitor:
+    a flat record of mutable counters charged by the MMU, caches, kernel
+    and workloads.  [snapshot] and [diff] let an experiment isolate the
+    events of one measured region. *)
+
+type t = {
+  mutable cycles : int;            (** total simulated CPU cycles *)
+  mutable idle_cycles : int;       (** cycles spent in the idle task *)
+  mutable instructions : int;      (** instructions executed (path lengths) *)
+  mutable mem_refs : int;          (** memory references issued by table
+                                       searches, walks and flushes *)
+  (* TLB *)
+  mutable itlb_lookups : int;
+  mutable itlb_misses : int;
+  mutable dtlb_lookups : int;
+  mutable dtlb_misses : int;
+  (* hashed page table *)
+  mutable htab_searches : int;     (** table searches after a TLB miss *)
+  mutable htab_hits : int;
+  mutable htab_misses : int;
+  mutable htab_reloads : int;      (** PTEs inserted into the htab *)
+  mutable htab_evicts : int;       (** reloads that displaced a valid PTE *)
+  mutable htab_evicts_live : int;  (** ... whose victim had a live VSID *)
+  mutable htab_evicts_zombie : int;(** ... whose victim was a zombie *)
+  (* caches *)
+  mutable icache_accesses : int;
+  mutable icache_misses : int;
+  mutable dcache_accesses : int;
+  mutable dcache_misses : int;
+  mutable dcache_bypasses : int;   (** cache-inhibited accesses *)
+  mutable dcache_writebacks : int; (** dirty lines written back on eviction *)
+  (* kernel events *)
+  mutable page_faults : int;
+  mutable flush_pte_searches : int;(** per-PTE precise flush searches *)
+  mutable flush_context_resets : int; (** lazy whole-context VSID resets *)
+  mutable context_switches : int;
+  mutable syscalls : int;
+  (* idle-task work *)
+  mutable zombies_reclaimed : int;
+  mutable pages_cleared_idle : int;
+  mutable prezeroed_hits : int;    (** get_free_page served pre-zeroed *)
+  mutable get_free_page_calls : int;
+}
+
+val create : unit -> t
+(** All counters zero. *)
+
+val reset : t -> unit
+(** Zero every counter in place. *)
+
+val snapshot : t -> t
+(** An immutable-by-convention copy of the current counts. *)
+
+val diff : after:t -> before:t -> t
+(** [diff ~after ~before] subtracts counter-wise; the events of the region
+    between the two snapshots. *)
+
+val tlb_misses : t -> int
+(** Instruction + data TLB misses. *)
+
+val tlb_lookups : t -> int
+(** Instruction + data TLB lookups. *)
+
+val cache_misses : t -> int
+(** Instruction + data cache misses. *)
+
+val busy_cycles : t -> int
+(** [cycles - idle_cycles]: cycles charged to real work. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable dump of all non-zero counters. *)

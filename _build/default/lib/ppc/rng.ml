@@ -1,0 +1,37 @@
+type t = { mutable state : int }
+
+let golden_gamma = 0x1E3779B97F4A7C15
+
+let create ~seed = { state = seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 finalizer; OCaml ints are 63-bit so we mask to 62 bits on
+   output to keep results non-negative. *)
+let next t =
+  t.state <- t.state + golden_gamma;
+  let z = t.state in
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  (z lxor (z lsr 31)) land max_int
+
+let int t bound =
+  assert (bound > 0);
+  next t mod bound
+
+let bool t = next t land 1 = 1
+
+let float t = float_of_int (next t land 0xFFFFFFFFFFFF) /. 281474976710656.0
+
+let geometric t ~p =
+  assert (p > 0.0 && p <= 1.0);
+  let rec loop n = if float t < p then n else loop (n + 1) in
+  loop 0
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,38 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    All randomness in the simulator flows through this module so that every
+    experiment is reproducible from a seed.  The generator is the splitmix64
+    mixer, which has good statistical properties, is allocation-free per
+    draw, and is trivially portable. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator starting from [t]'s current
+    state. *)
+
+val next : t -> int
+(** [next t] draws a uniformly distributed non-negative 62-bit integer. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly in [\[0, bound)].  [bound] must be
+    positive. *)
+
+val bool : t -> bool
+(** [bool t] draws a uniform boolean. *)
+
+val float : t -> float
+(** [float t] draws uniformly in [\[0, 1)]. *)
+
+val geometric : t -> p:float -> int
+(** [geometric t ~p] draws from a geometric distribution with success
+    probability [p] (number of failures before first success).  Used for
+    bursty reference-stream lengths. *)
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle t a] permutes [a] in place (Fisher-Yates). *)

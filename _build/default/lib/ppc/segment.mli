@@ -1,0 +1,42 @@
+(** The sixteen segment registers.
+
+    The four high-order bits of every effective address select one of 16
+    segment registers, each holding a 24-bit VSID.  A context switch loads
+    the user segments (0x0–0xB under the Linux/PPC split) with the new
+    task's VSIDs; the kernel segments (0xC–0xF) hold fixed VSIDs for the
+    dynamically mapped parts of the kernel. *)
+
+type t
+
+val n_registers : int
+(** 16. *)
+
+val kernel_first : int
+(** 0xC: first segment of the kernel half of the address space
+    (the kernel lives at [0xC0000000]). *)
+
+val create : unit -> t
+(** All registers zero. *)
+
+val get : t -> int -> int
+(** [get t i] is the VSID in register [i] (0–15). *)
+
+val set : t -> int -> int -> unit
+(** [set t i vsid] loads register [i]. *)
+
+val vsid_for : t -> Addr.ea -> int
+(** [vsid_for t ea] is the VSID the hardware would use for [ea]. *)
+
+val load_user : t -> (int -> int) -> unit
+(** [load_user t f] loads registers 0–11 with [f i] — the per-task segment
+    load performed on a context switch. *)
+
+val load_kernel : t -> (int -> int) -> unit
+(** [load_kernel t f] loads registers 12–15 with [f i]; done once at
+    boot since kernel VSIDs never change. *)
+
+val is_kernel_segment : int -> bool
+(** [is_kernel_segment i] holds for registers 12–15. *)
+
+val is_kernel_ea : Addr.ea -> bool
+(** [is_kernel_ea ea] holds when [ea >= 0xC0000000]. *)

@@ -1,0 +1,98 @@
+type entry = {
+  vpn : Addr.vpn;
+  rpn : int;
+  inhibited : bool;
+  writable : bool;
+}
+
+(* Slots hold [entry option]; [stamp] implements LRU via a global tick. *)
+type t = {
+  n_sets : int;
+  n_ways : int;
+  slots : entry option array;  (* set-major: slot = set * ways + way *)
+  stamps : int array;
+  mutable tick : int;
+}
+
+let create ~sets ~ways =
+  if sets <= 0 || sets land (sets - 1) <> 0 then
+    invalid_arg "Tlb.create: sets must be a positive power of two";
+  if ways <= 0 then invalid_arg "Tlb.create: ways must be positive";
+  { n_sets = sets;
+    n_ways = ways;
+    slots = Array.make (sets * ways) None;
+    stamps = Array.make (sets * ways) 0;
+    tick = 0 }
+
+let sets t = t.n_sets
+let ways t = t.n_ways
+let capacity t = t.n_sets * t.n_ways
+
+let set_of t vpn = vpn land (t.n_sets - 1)
+
+let lookup t vpn =
+  let base = set_of t vpn * t.n_ways in
+  let rec loop w =
+    if w >= t.n_ways then None
+    else
+      match t.slots.(base + w) with
+      | Some e when e.vpn = vpn ->
+          t.tick <- t.tick + 1;
+          t.stamps.(base + w) <- t.tick;
+          Some e
+      | Some _ | None -> loop (w + 1)
+  in
+  loop 0
+
+let peek t vpn =
+  let base = set_of t vpn * t.n_ways in
+  let rec loop w =
+    if w >= t.n_ways then None
+    else
+      match t.slots.(base + w) with
+      | Some e when e.vpn = vpn -> Some e
+      | Some _ | None -> loop (w + 1)
+  in
+  loop 0
+
+let insert t e =
+  let base = set_of t e.vpn * t.n_ways in
+  (* Prefer: same-VPN slot (update), then an invalid way, else LRU. *)
+  let victim = ref (-1) in
+  let lru = ref max_int in
+  let lru_way = ref 0 in
+  for w = 0 to t.n_ways - 1 do
+    (match t.slots.(base + w) with
+    | Some old when old.vpn = e.vpn -> victim := w
+    | None -> if !victim < 0 then victim := w
+    | Some _ -> ());
+    if t.stamps.(base + w) < !lru then begin
+      lru := t.stamps.(base + w);
+      lru_way := w
+    end
+  done;
+  let w = if !victim >= 0 then !victim else !lru_way in
+  t.tick <- t.tick + 1;
+  t.slots.(base + w) <- Some e;
+  t.stamps.(base + w) <- t.tick
+
+let invalidate_page t vpn =
+  let base = set_of t vpn * t.n_ways in
+  for w = 0 to t.n_ways - 1 do
+    match t.slots.(base + w) with
+    | Some e when e.vpn = vpn -> t.slots.(base + w) <- None
+    | Some _ | None -> ()
+  done
+
+let invalidate_all t = Array.fill t.slots 0 (Array.length t.slots) None
+
+let occupancy t =
+  Array.fold_left (fun n -> function Some _ -> n + 1 | None -> n) 0 t.slots
+
+let count_matching t p =
+  Array.fold_left
+    (fun n -> function Some e when p e.vpn -> n + 1 | Some _ | None -> n)
+    0 t.slots
+
+let iter t f =
+  Array.iter (function Some e -> f e | None -> ()) t.slots

@@ -1,0 +1,59 @@
+(** Set-associative translation look-aside buffer.
+
+    The 603 and 604 have split instruction/data TLBs, two-way set
+    associative with LRU replacement (603: 32 sets x 2 = 64 entries per
+    side; 604: 64 sets x 2 = 128 per side).  Entries are tagged with the
+    full virtual page number, so they are tagged with the VSID: a context
+    switch needs no TLB flush, and the lazy-flush trick of §7 works by
+    retiring VSIDs instead of scrubbing entries.
+
+    The module is purely structural; the MMU charges cycle and counter
+    costs. *)
+
+type t
+
+type entry = {
+  vpn : Addr.vpn;
+  rpn : int;
+  inhibited : bool;  (** cache-inhibited mapping (WIMG I-bit) *)
+  writable : bool;
+}
+
+val create : sets:int -> ways:int -> t
+(** [create ~sets ~ways] builds an empty TLB.  [sets] must be a power of
+    two. *)
+
+val sets : t -> int
+val ways : t -> int
+
+val capacity : t -> int
+(** [sets * ways]. *)
+
+val lookup : t -> Addr.vpn -> entry option
+(** [lookup t vpn] searches the set selected by the low VPN bits and
+    refreshes LRU state on a hit. *)
+
+val peek : t -> Addr.vpn -> entry option
+(** [peek t vpn] is [lookup] without the LRU side effect — for probing and
+    tests. *)
+
+val insert : t -> entry -> unit
+(** [insert t e] fills an invalid way of the set, or replaces the LRU
+    way. *)
+
+val invalidate_page : t -> Addr.vpn -> unit
+(** [invalidate_page t vpn] drops the entry for [vpn] if present — the
+    [tlbie] instruction. *)
+
+val invalidate_all : t -> unit
+(** Full flush ([tlbia]). *)
+
+val occupancy : t -> int
+(** Number of valid entries. *)
+
+val count_matching : t -> (Addr.vpn -> bool) -> int
+(** [count_matching t p] counts valid entries whose VPN satisfies [p] —
+    used to measure the kernel's share of TLB slots (§5.1). *)
+
+val iter : t -> (entry -> unit) -> unit
+(** Iterate over valid entries. *)

@@ -1,0 +1,1 @@
+lib/workloads/interactive.ml: Addr Cost Kernel_sim List Machine Mmu Perf Ppc Refgen Rng

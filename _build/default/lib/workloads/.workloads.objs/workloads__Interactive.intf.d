@@ -1,0 +1,1 @@
+lib/workloads/interactive.mli: Kernel_sim Ppc

@@ -1,0 +1,1 @@
+lib/workloads/kbuild.ml: Addr Cost Kernel_sim Machine Measure Mmu Perf Ppc Printf Refgen Rng

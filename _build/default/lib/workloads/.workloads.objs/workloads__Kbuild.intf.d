@@ -1,0 +1,1 @@
+lib/workloads/kbuild.mli: Kernel_sim Ppc

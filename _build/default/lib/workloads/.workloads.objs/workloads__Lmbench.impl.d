@@ -1,0 +1,1 @@
+lib/workloads/lmbench.ml: Addr Array Cost Kernel_sim Machine Measure Mmu Ppc Rng

@@ -1,0 +1,1 @@
+lib/workloads/measure.ml: Cost Kernel_sim Machine Perf Ppc

@@ -1,0 +1,1 @@
+lib/workloads/measure.mli: Kernel_sim Perf Ppc

@@ -1,0 +1,1 @@
+lib/workloads/multiuser.ml: Addr Cost Kernel_sim List Machine Mmu Perf Ppc Refgen Rng

@@ -1,0 +1,1 @@
+lib/workloads/multiuser.mli: Kernel_sim Ppc

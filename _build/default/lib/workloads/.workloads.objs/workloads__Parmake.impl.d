@@ -1,0 +1,1 @@
+lib/workloads/parmake.ml: Addr Cost Kernel_sim Machine Mmu Perf Ppc Printf Refgen Rng

@@ -1,0 +1,1 @@
+lib/workloads/parmake.mli: Kernel_sim Ppc

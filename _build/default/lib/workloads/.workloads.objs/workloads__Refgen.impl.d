@@ -1,0 +1,1 @@
+lib/workloads/refgen.ml: Addr Ppc Rng

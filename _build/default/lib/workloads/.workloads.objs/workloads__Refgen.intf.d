@@ -1,0 +1,1 @@
+lib/workloads/refgen.mli: Addr Ppc Rng

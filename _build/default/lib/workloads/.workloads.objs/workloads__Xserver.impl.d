@@ -1,0 +1,1 @@
+lib/workloads/xserver.ml: Addr Array Cost Kernel_sim Machine Measure Mmu Perf Ppc Rng

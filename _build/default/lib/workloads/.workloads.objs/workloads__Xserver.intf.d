@@ -1,0 +1,1 @@
+lib/workloads/xserver.mli: Kernel_sim Ppc

@@ -1,0 +1,36 @@
+(** Interactive responsiveness under contention.
+
+    An editor wakes for a keystroke burst while a compile grinds in the
+    background, all under {!Kernel_sim.Sched}.  The measured quantity is
+    the {e response time}: from the keystroke's wake-up deadline to the
+    burst's completion — scheduling delay plus the burst's own work
+    (which includes re-faulting whatever TLB/cache state the compile
+    displaced).  This is the latency a user feels, and the number the
+    paper's wall-clock claims ultimately cash out as on an interactive
+    machine. *)
+
+module Kernel = Kernel_sim.Kernel
+
+type params = {
+  keystrokes : int;        (** measured bursts *)
+  think_cycles : int;      (** editor sleep between bursts *)
+  editor_pages : int;
+  compile_pages : int;     (** background compile working set *)
+}
+
+val default_params : params
+
+type result = {
+  perf : Ppc.Perf.t;
+  mean_response_us : float;
+  worst_response_us : float;
+  wall_us : float;
+}
+
+val measure :
+  machine:Ppc.Machine.t ->
+  policy:Kernel_sim.Policy.t ->
+  ?params:params ->
+  ?seed:int ->
+  unit ->
+  result

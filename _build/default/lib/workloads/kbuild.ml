@@ -1,0 +1,155 @@
+open Ppc
+module Kernel = Kernel_sim.Kernel
+module Mm = Kernel_sim.Mm
+module Vfs = Kernel_sim.Vfs
+
+type params = {
+  jobs : int;
+  compute_rounds : int;
+  job_text_pages : int;
+  job_data_pages : int;
+  source_pages : int;
+  header_pages : int;
+}
+
+let default_params =
+  { jobs = 24;
+    compute_rounds = 16;
+    job_text_pages = 80;
+    job_data_pages = 320;
+    source_pages = 32;
+    header_pages = 64 }
+
+let run ?(probe = fun (_ : Kernel.t) -> ()) k ~params:p =
+  let rng = Kernel.rng k in
+  let headers =
+    match Vfs.lookup (Kernel.vfs k) "headers" with
+    | Some f -> f
+    | None ->
+        Vfs.create_file (Kernel.vfs k) ~name:"headers" ~pages:p.header_pages
+  in
+  let driver = Kernel.spawn k ~text_pages:24 ~data_pages:16 ~stack_pages:4 () in
+  Kernel.switch_to k driver;
+  Kernel.user_run k ~instrs:4000;
+  for job = 0 to p.jobs - 1 do
+    (* make: parse rules, decide what to build *)
+    Kernel.switch_to k driver;
+    Kernel.user_run k ~instrs:2000;
+    (* fork + exec cc *)
+    let cc = Kernel.sys_fork k in
+    Kernel.switch_to k cc;
+    Kernel.sys_exec k ~text_pages:p.job_text_pages
+      ~data_pages:p.job_data_pages ~stack_pages:8;
+    let data_ea =
+      Mm.user_text_base + (p.job_text_pages lsl Addr.page_shift)
+    in
+    let gen =
+      Refgen.create ~rng ~base_ea:data_ea ~pages:p.job_data_pages
+        ~hot_fraction:0.5 ~locality:0.85 ()
+    in
+    (* the private source file is always cold (disk waits -> idle task);
+       the shared headers are warm after the first job *)
+    let source =
+      (* named by pid so repeated compiles on one kernel never collide *)
+      Vfs.create_file (Kernel.vfs k)
+        ~name:(Printf.sprintf "src-%d-%d" job cc.Kernel_sim.Task.pid)
+        ~pages:p.source_pages
+    in
+    let buf = Kernel.sys_mmap k ~pages:8 ~writable:true in
+    let read_in file ~from ~pages =
+      let chunk = 8 in
+      let rec loop from remaining =
+        if remaining > 0 then begin
+          let n = min chunk remaining in
+          Kernel.sys_file_read k file ~from_page:from ~pages:n ~buf;
+          loop (from + n) (remaining - n)
+        end
+      in
+      loop from pages
+    in
+    read_in headers ~from:0 ~pages:p.header_pages;
+    (* compute phases: parse/optimize/emit over the working sets, with
+       the source file read incrementally as parsing proceeds — so disk
+       waits (idle-task windows) interleave with the hot working set,
+       like a real compile under make *)
+    for round = 0 to p.compute_rounds - 1 do
+      let src_page = round * p.source_pages / p.compute_rounds in
+      let src_next = (round + 1) * p.source_pages / p.compute_rounds in
+      if src_next > src_page then
+        read_in source ~from:src_page ~pages:(src_next - src_page);
+      Kernel.user_run k ~instrs:3000;
+      (* Each page holds one hot record at a fixed (per-page) pair of
+         lines: page-level pressure exceeds the TLB while the
+         cache-resident line set stays small, as in a real compiler's
+         symbol tables. *)
+      for _ = 1 to 300 do
+        let ea = Refgen.next gen in
+        let epn = Addr.epn ea in
+        let line = epn * 3 land 0x7E in
+        let base = Addr.page_base ea + (line * Addr.line_size / 2) in
+        let kind = if Rng.int rng 4 = 0 then Mmu.Store else Mmu.Load in
+        Kernel.touch k kind base;
+        Kernel.touch k kind (base + Addr.line_size)
+      done;
+      (* the allocator grows and shrinks the arena as phases change:
+         freshly faulted demand-zero pages are written nearly whole, the
+         traffic §9's page pre-zeroing serves *)
+      if round mod 4 = 3 then begin
+        let arena_pages = if round mod 8 = 7 then 48 else 16 in
+        let arena = Kernel.sys_mmap k ~pages:arena_pages ~writable:true in
+        for i = 0 to 11 do
+          let page = arena + (i lsl Addr.page_shift) in
+          for line = 0 to 15 do
+            Kernel.touch k Mmu.Store (page + (line * Addr.line_size))
+          done
+        done;
+        Kernel.sys_munmap k ~ea:arena ~pages:arena_pages
+      end;
+      (* sample point for experiments: mid-compute, away from the
+         arena's range flushes *)
+      if round = p.compute_rounds - 2 then probe k;
+      (* make's supervision: a brief switch to the driver and back *)
+      if round mod 4 = 1 then begin
+        Kernel.switch_to k driver;
+        Kernel.user_run k ~instrs:400;
+        Kernel.switch_to k cc
+      end
+    done;
+    (* emit the object: fill freshly allocated output pages end to end,
+       then write them to the object file through the page cache *)
+    let objbuf = Kernel.sys_mmap k ~pages:24 ~writable:true in
+    for i = 0 to 23 do
+      let page = objbuf + (i lsl Addr.page_shift) in
+      for line = 0 to 63 do
+        Kernel.touch k Mmu.Store (page + (line * Addr.line_size))
+      done
+    done;
+    let objfile =
+      Vfs.create_file (Kernel.vfs k)
+        ~name:(Printf.sprintf "obj-%d-%d" job cc.Kernel_sim.Task.pid)
+        ~pages:24
+    in
+    Kernel.sys_file_write k objfile ~from_page:0 ~pages:24 ~buf:objbuf;
+    Kernel.sys_munmap k ~ea:objbuf ~pages:24;
+    Vfs.evict (Kernel.vfs k) objfile;
+    Kernel.sys_munmap k ~ea:buf ~pages:8;
+    Vfs.evict (Kernel.vfs k) source;
+    Kernel.sys_exit k
+  done;
+  Kernel.switch_to k driver;
+  Kernel.user_run k ~instrs:2000;
+  Kernel.sys_exit k
+
+type result = {
+  perf : Perf.t;
+  wall_us : float;
+  busy_us : float;
+}
+
+let measure ~machine ~policy ?(params = default_params) ?(seed = 42) () =
+  let k = Kernel.boot ~machine ~policy ~seed () in
+  let perf = Measure.perf k (fun () -> run k ~params) in
+  let mhz = machine.Machine.mhz in
+  { perf;
+    wall_us = Cost.us_of_cycles ~mhz perf.Perf.cycles;
+    busy_us = Cost.us_of_cycles ~mhz (Perf.busy_cycles perf) }

@@ -1,0 +1,52 @@
+(** The kernel-compile macro workload.
+
+    "The mix of process creation, file I/O, and computation in the kernel
+    compile is a good guess at a typical user load" (§4).  This is a
+    scaled synthetic compile: a driver ("make") forks one "cc" job per
+    source file; each job execs a fresh image, reads a cold private
+    source file plus a warm shared header file, runs compute phases over
+    code and data working sets, grows and shrinks a malloc arena with
+    mmap/munmap, and exits.  Cold file pages cost simulated disk waits
+    that the kernel spends in the idle task — exactly the windows the §7
+    zombie reclaim and §9 page clearing need.
+
+    The paper's real compile performs ~219M TLB misses over ~10 minutes;
+    this workload is roughly 200x smaller.  Miss {e ratios} and relative
+    wall-clock between policies are scale-invariant for this workload
+    shape (EXPERIMENTS.md reports both raw and extrapolated numbers). *)
+
+module Kernel = Kernel_sim.Kernel
+
+type params = {
+  jobs : int;            (** number of "cc" invocations *)
+  compute_rounds : int;  (** compute phases per job *)
+  job_text_pages : int;  (** cc image text size *)
+  job_data_pages : int;  (** cc data working set *)
+  source_pages : int;    (** per-job cold source file *)
+  header_pages : int;    (** shared header file, warm after job 1 *)
+}
+
+val default_params : params
+(** 24 jobs, 80-page text, 320-page data — a hot working set beyond TLB
+    reach, pressuring the MMU the way the real compile does. *)
+
+val run : ?probe:(Kernel.t -> unit) -> Kernel.t -> params:params -> unit
+(** Run the whole compile on a booted kernel.  Use {!Measure.perf} around
+    it for counters.  [probe] is called once per job at the hottest point
+    (mid-compute), for sampling MMU state like the paper's TLB-share
+    numbers. *)
+
+type result = {
+  perf : Ppc.Perf.t;     (** counter deltas for the whole compile *)
+  wall_us : float;       (** simulated wall-clock *)
+  busy_us : float;       (** wall-clock minus idle *)
+}
+
+val measure :
+  machine:Ppc.Machine.t ->
+  policy:Kernel_sim.Policy.t ->
+  ?params:params ->
+  ?seed:int ->
+  unit ->
+  result
+(** Boot a fresh kernel and run the compile under measurement. *)

@@ -1,0 +1,395 @@
+open Ppc
+module Kernel = Kernel_sim.Kernel
+module Mm = Kernel_sim.Mm
+module Policy = Kernel_sim.Policy
+module Vfs = Kernel_sim.Vfs
+
+(* Standard benchmark process shape (pages). *)
+let text_pages = 16
+let data_pages = 16
+let stack_pages = 8
+
+let data_base = Mm.user_text_base + (text_pages lsl Addr.page_shift)
+let stack_base = Mm.user_stack_top - (stack_pages lsl Addr.page_shift)
+
+let mhz k = (Kernel.machine k).Machine.mhz
+
+let spawn_std k =
+  Kernel.spawn k ~text_pages ~data_pages ~stack_pages ()
+
+(* A small per-iteration body: the footprint of a process that just woke
+   up, checked a flag and touched its stack. *)
+let tiny_body k =
+  Kernel.user_run k ~instrs:120;
+  for i = 0 to 5 do
+    Kernel.touch k Mmu.Load (data_base + (i lsl Addr.page_shift))
+  done;
+  Kernel.touch k Mmu.Store stack_base;
+  Kernel.touch k Mmu.Store (stack_base + Addr.page_size)
+
+let cleanup k task =
+  Kernel.switch_to k task;
+  Kernel.sys_exit k
+
+(* --- null syscall ------------------------------------------------------ *)
+
+let null_syscall_us k =
+  let task = spawn_std k in
+  Kernel.switch_to k task;
+  (* warm up text, stack and the syscall path *)
+  Kernel.user_run k ~instrs:2000;
+  for _ = 1 to 50 do
+    Kernel.sys_null k
+  done;
+  let iters = 500 in
+  let cycles =
+    Measure.cycles k (fun () ->
+        for _ = 1 to iters do
+          Kernel.sys_null k
+        done)
+  in
+  cleanup k task;
+  Cost.us_of_cycles ~mhz:(mhz k) cycles /. float_of_int iters
+
+(* --- context switch ---------------------------------------------------- *)
+
+let ctx_switch_us k ~nprocs =
+  if nprocs < 2 then invalid_arg "Lmbench.ctx_switch_us: nprocs >= 2";
+  let tasks = Array.init nprocs (fun _ -> spawn_std k) in
+  let rounds = 30 in
+  (* warm: populate each task's text/stack mappings *)
+  Array.iter
+    (fun task ->
+      Kernel.switch_to k task;
+      Kernel.user_run k ~instrs:1000;
+      tiny_body k)
+    tasks;
+  let measured =
+    Measure.cycles k (fun () ->
+        for _ = 1 to rounds do
+          Array.iter
+            (fun task ->
+              Kernel.switch_to k task;
+              tiny_body k)
+            tasks
+        done)
+  in
+  (* loop overhead: the same body without switching *)
+  Kernel.switch_to k tasks.(0);
+  let overhead =
+    Measure.cycles k (fun () ->
+        for _ = 1 to rounds * nprocs do
+          tiny_body k
+        done)
+  in
+  Array.iter (cleanup k) tasks;
+  let per_switch =
+    float_of_int (measured - overhead) /. float_of_int (rounds * nprocs)
+  in
+  per_switch /. float_of_int (mhz k)
+
+let ctx_switch_sized_us k ~nprocs ~size_kb =
+  if nprocs < 2 then invalid_arg "Lmbench.ctx_switch_sized_us: nprocs >= 2";
+  if size_kb < 0 || size_kb > 256 then
+    invalid_arg "Lmbench.ctx_switch_sized_us: size_kb in [0, 256]";
+  let ws_pages = max 1 (size_kb / 4) in
+  let tasks =
+    Array.init nprocs (fun _ ->
+        Kernel.spawn k ~text_pages ~data_pages:(max data_pages ws_pages)
+          ~stack_pages ())
+  in
+  (* lat_ctx: each process sums its working set between token passes *)
+  let body () =
+    if size_kb = 0 then tiny_body k
+    else
+      for p = 0 to ws_pages - 1 do
+        let page = data_base + (p lsl Addr.page_shift) in
+        Kernel.touch k Mmu.Load page;
+        Kernel.touch k Mmu.Store (page + Addr.line_size)
+      done
+  in
+  let rounds = 20 in
+  Array.iter
+    (fun task ->
+      Kernel.switch_to k task;
+      Kernel.user_run k ~instrs:1000;
+      body ())
+    tasks;
+  let measured =
+    Measure.cycles k (fun () ->
+        for _ = 1 to rounds do
+          Array.iter
+            (fun task ->
+              Kernel.switch_to k task;
+              body ())
+            tasks
+        done)
+  in
+  Kernel.switch_to k tasks.(0);
+  let overhead =
+    Measure.cycles k (fun () ->
+        for _ = 1 to rounds * nprocs do
+          body ()
+        done)
+  in
+  Array.iter (cleanup k) tasks;
+  float_of_int (measured - overhead)
+  /. float_of_int (rounds * nprocs)
+  /. float_of_int (mhz k)
+
+(* --- pipes -------------------------------------------------------------- *)
+
+let pipe_latency_us k =
+  let a = spawn_std k and b = spawn_std k in
+  let ab = Kernel.new_pipe k and ba = Kernel.new_pipe k in
+  let round () =
+    Kernel.switch_to k a;
+    ignore (Kernel.sys_pipe_write k ab ~buf:data_base ~bytes:1 : int);
+    Kernel.switch_to k b;
+    ignore (Kernel.sys_pipe_read k ab ~buf:data_base ~bytes:1 : int);
+    ignore (Kernel.sys_pipe_write k ba ~buf:data_base ~bytes:1 : int);
+    Kernel.switch_to k a;
+    ignore (Kernel.sys_pipe_read k ba ~buf:data_base ~bytes:1 : int)
+  in
+  for _ = 1 to 5 do
+    round ()
+  done;
+  let rounds = 100 in
+  let cycles =
+    Measure.cycles k (fun () ->
+        for _ = 1 to rounds do
+          round ()
+        done)
+  in
+  cleanup k a;
+  cleanup k b;
+  (* two messages per round; lat_pipe reports one-way latency *)
+  Cost.us_of_cycles ~mhz:(mhz k) cycles /. float_of_int (rounds * 2)
+
+let pipe_latency_loaded_us k =
+  let a = spawn_std k and b = spawn_std k in
+  (* background load: editors/daemons with real working sets *)
+  let bg = Array.init 3 (fun _ -> Kernel.spawn k ~data_pages:160 ()) in
+  let ab = Kernel.new_pipe k and ba = Kernel.new_pipe k in
+  let rng = Rng.create ~seed:23 in
+  let run_background () =
+    Array.iter
+      (fun t ->
+        Kernel.switch_to k t;
+        Kernel.user_run k ~instrs:800;
+        for _ = 1 to 64 do
+          let page = Rng.int rng 160 in
+          Kernel.touch k Mmu.Store (data_base + (page lsl Addr.page_shift))
+        done)
+      bg
+  in
+  let round () =
+    Kernel.switch_to k a;
+    ignore (Kernel.sys_pipe_write k ab ~buf:data_base ~bytes:1 : int);
+    Kernel.switch_to k b;
+    ignore (Kernel.sys_pipe_read k ab ~buf:data_base ~bytes:1 : int);
+    ignore (Kernel.sys_pipe_write k ba ~buf:data_base ~bytes:1 : int);
+    Kernel.switch_to k a;
+    ignore (Kernel.sys_pipe_read k ba ~buf:data_base ~bytes:1 : int)
+  in
+  for _ = 1 to 5 do
+    run_background ();
+    round ()
+  done;
+  let rounds = 60 in
+  let background = ref 0 in
+  let cycles =
+    Measure.cycles k (fun () ->
+        for _ = 1 to rounds do
+          (* the other jobs get their timeslices between messages *)
+          let c0 = Kernel.cycles k in
+          run_background ();
+          background := !background + (Kernel.cycles k - c0);
+          round ()
+        done)
+  in
+  cleanup k a;
+  cleanup k b;
+  Array.iter (cleanup k) bg;
+  (* lat_pipe times only the message round trips *)
+  Cost.us_of_cycles ~mhz:(mhz k) (cycles - !background)
+  /. float_of_int (rounds * 2)
+
+let pipe_bandwidth_mbs k =
+  let a = spawn_std k and b = spawn_std k in
+  let p = Kernel.new_pipe k in
+  let chunk = Kernel_sim.Pipe.capacity in
+  let move_chunk () =
+    Kernel.switch_to k a;
+    ignore (Kernel.sys_pipe_write k p ~buf:data_base ~bytes:chunk : int);
+    Kernel.switch_to k b;
+    ignore (Kernel.sys_pipe_read k p ~buf:data_base ~bytes:chunk : int)
+  in
+  for _ = 1 to 4 do
+    move_chunk ()
+  done;
+  let chunks = 128 in
+  let cycles =
+    Measure.cycles k (fun () ->
+        for _ = 1 to chunks do
+          move_chunk ()
+        done)
+  in
+  cleanup k a;
+  cleanup k b;
+  Cost.mb_per_s ~bytes:(chunks * chunk) ~mhz:(mhz k) ~cycles
+
+(* --- file reread -------------------------------------------------------- *)
+
+let file_reread_mbs k =
+  let task = spawn_std k in
+  Kernel.switch_to k task;
+  let file_pages = 256 (* 1 MB *) in
+  let file =
+    Vfs.create_file (Kernel.vfs k) ~name:"bw_file_rd" ~pages:file_pages
+  in
+  let buf = Kernel.sys_mmap k ~pages:16 ~writable:true in
+  (* bw_file_rd reads a chunk then sums it, so the user side reloads
+     every line it just received *)
+  let sum_chunk pages =
+    Kernel.user_run k ~instrs:(pages * (Addr.page_size / 4));
+    for i = 0 to (pages * Addr.page_size / Addr.line_size) - 1 do
+      Kernel.touch k Mmu.Load (buf + (i * Addr.line_size land 0xFFFF))
+    done
+  in
+  let read_whole () =
+    let chunk = 16 in
+    let rec loop from =
+      if from < file_pages then begin
+        Kernel.sys_file_read k file ~from_page:from ~pages:chunk ~buf;
+        sum_chunk chunk;
+        loop (from + chunk)
+      end
+    in
+    loop 0
+  in
+  (* priming read: faults every page in from "disk" *)
+  read_whole ();
+  let rereads = 4 in
+  let cycles =
+    Measure.cycles k (fun () ->
+        for _ = 1 to rereads do
+          read_whole ()
+        done)
+  in
+  cleanup k task;
+  Cost.mb_per_s
+    ~bytes:(rereads * file_pages * Addr.page_size)
+    ~mhz:(mhz k) ~cycles
+
+(* --- mmap --------------------------------------------------------------- *)
+
+let mmap_region_pages = 1024 (* 4 MB, lat_mmap-sized *)
+
+let mmap_latency_us k =
+  let task = spawn_std k in
+  Kernel.switch_to k task;
+  Kernel.user_run k ~instrs:1000;
+  (* lat_mmap maps a file; prime its pages so faults install warm
+     page-cache frames with no zero-fill or disk wait *)
+  let file =
+    Vfs.create_file (Kernel.vfs k) ~name:"lat_mmap" ~pages:mmap_region_pages
+  in
+  let prime = Kernel.sys_mmap k ~pages:8 ~writable:true in
+  let rec prime_loop from =
+    if from < mmap_region_pages then begin
+      Kernel.sys_file_read k file ~from_page:from ~pages:8 ~buf:prime;
+      prime_loop (from + 8)
+    end
+  in
+  prime_loop 0;
+  Kernel.sys_munmap k ~ea:prime ~pages:8;
+  let map_unmap () =
+    let ea =
+      Kernel.sys_mmap_file k file ~from_page:0 ~pages:mmap_region_pages
+        ~writable:false
+    in
+    Kernel.touch k Mmu.Load ea;
+    Kernel.sys_munmap k ~ea ~pages:mmap_region_pages
+  in
+  map_unmap ();
+  let iters = 10 in
+  let cycles =
+    Measure.cycles k (fun () ->
+        for _ = 1 to iters do
+          map_unmap ()
+        done)
+  in
+  cleanup k task;
+  Cost.us_of_cycles ~mhz:(mhz k) cycles /. float_of_int iters
+
+(* --- process creation ---------------------------------------------------- *)
+
+let proc_start_ms k =
+  let parent = spawn_std k in
+  Kernel.switch_to k parent;
+  (* parent image: ~10 text pages + 10 data pages resident, so the fork
+     has a real address space to share *)
+  Kernel.user_run k ~instrs:10_000;
+  for i = 0 to 9 do
+    Kernel.touch k Mmu.Store (data_base + (i lsl Addr.page_shift))
+  done;
+  (* the shared libraries every exec'd child maps and relocates against
+     (warm in the page cache after the first start, like a real system) *)
+  let libc =
+    Vfs.create_file (Kernel.vfs k) ~name:"libc.so" ~pages:16
+  in
+  let one () =
+    let child = Kernel.sys_fork k in
+    Kernel.switch_to k child;
+    Kernel.sys_exec k ~text_pages:24 ~data_pages:16 ~stack_pages:4;
+    (* dynamic linking: map libc, run the relocation pass, touch the
+       child's data segment *)
+    let lib_ea =
+      Kernel.sys_mmap_file k libc ~from_page:0 ~pages:16 ~writable:false
+    in
+    for i = 0 to 7 do
+      Kernel.touch k Mmu.Load (lib_ea + (i lsl Addr.page_shift))
+    done;
+    Kernel.user_run k ~instrs:30_000;
+    let child_data = Mm.user_text_base + (24 lsl Addr.page_shift) in
+    for i = 0 to 11 do
+      Kernel.touch k Mmu.Store (child_data + (i lsl Addr.page_shift))
+    done;
+    Kernel.sys_exit k;
+    Kernel.switch_to k parent
+  in
+  one ();
+  let iters = 5 in
+  let cycles =
+    Measure.cycles k (fun () ->
+        for _ = 1 to iters do
+          one ()
+        done)
+  in
+  cleanup k parent;
+  Cost.us_of_cycles ~mhz:(mhz k) cycles /. float_of_int iters /. 1000.0
+
+(* --- summary ------------------------------------------------------------- *)
+
+type summary = {
+  null_us : float;
+  ctxsw2_us : float;
+  ctxsw8_us : float;
+  pipe_lat_us : float;
+  pipe_bw_mbs : float;
+  file_reread_mbs : float;
+  mmap_lat_us : float;
+  pstart_ms : float;
+}
+
+let run ~machine ~policy ?(seed = 42) () =
+  let fresh () = Kernel.boot ~machine ~policy ~seed () in
+  { null_us = null_syscall_us (fresh ());
+    ctxsw2_us = ctx_switch_us (fresh ()) ~nprocs:2;
+    ctxsw8_us = ctx_switch_us (fresh ()) ~nprocs:8;
+    pipe_lat_us = pipe_latency_us (fresh ());
+    pipe_bw_mbs = pipe_bandwidth_mbs (fresh ());
+    file_reread_mbs = file_reread_mbs (fresh ());
+    mmap_lat_us = mmap_latency_us (fresh ());
+    pstart_ms = proc_start_ms (fresh ()) }

@@ -1,0 +1,70 @@
+(** LmBench-style microbenchmarks on the simulated kernel.
+
+    Re-implementations of the McVoy benchmarks the paper measures with
+    [5]: each drives the same kernel paths per iteration as the original's
+    inner loop (syscall entry/exit, context switches where the original's
+    processes block and wake, line-at-a-time copies for bandwidth), so
+    the simulated costs decompose the same way the real measurements do.
+
+    Per-benchmark functions take a booted kernel, create their own tasks,
+    warm up, measure, and clean up after themselves.  {!run} produces a
+    full summary on fresh kernels (one boot per metric, like running the
+    lmbench binaries one at a time). *)
+
+module Kernel = Kernel_sim.Kernel
+
+val null_syscall_us : Kernel.t -> float
+(** getpid-style null syscall latency. *)
+
+val ctx_switch_us : Kernel.t -> nprocs:int -> float
+(** lat_ctx with 0 KB working set: mean switch cost with [nprocs]
+    processes in the ring, loop overhead subtracted. *)
+
+val ctx_switch_sized_us : Kernel.t -> nprocs:int -> size_kb:int -> float
+(** lat_ctx's [-s] knob: each process touches [size_kb] KB of its data
+    between switches, so the measured cost includes re-faulting the TLB
+    and cache footprint the other processes displaced — the quantity
+    §5.1/§6 are really about.  [size_kb] up to 256. *)
+
+val pipe_latency_us : Kernel.t -> float
+(** lat_pipe: one-byte token ping-pong between two processes; half the
+    round trip. *)
+
+val pipe_latency_loaded_us : Kernel.t -> float
+(** lat_pipe on a {e loaded} system: the ping-pong shares the machine
+    with background processes whose working sets churn the TLB and cache
+    between rounds — the multiuser condition the paper's numbers were
+    taken under.  Every round then pays real reload costs, which is what
+    the §6.1 fast handlers accelerate. *)
+
+val pipe_bandwidth_mbs : Kernel.t -> float
+(** bw_pipe: bulk transfer through a 4 KB pipe, reader and writer
+    alternating. *)
+
+val file_reread_mbs : Kernel.t -> float
+(** bw_file_rd on a warm 1 MB file: pure page-cache copy bandwidth. *)
+
+val mmap_latency_us : Kernel.t -> float
+(** lat_mmap on a 2 MB region: map, touch a few pages, unmap.  Dominated
+    by the range-flush strategy (§7). *)
+
+val proc_start_ms : Kernel.t -> float
+(** lat_proc fork+exec: create a process, exec a fresh image, run it
+    briefly, reap it. *)
+
+(** One row of the paper's LmBench summary tables. *)
+type summary = {
+  null_us : float;
+  ctxsw2_us : float;   (** 2-process context switch *)
+  ctxsw8_us : float;   (** 8-process context switch (§7) *)
+  pipe_lat_us : float;
+  pipe_bw_mbs : float;
+  file_reread_mbs : float;
+  mmap_lat_us : float;
+  pstart_ms : float;
+}
+
+val run :
+  machine:Ppc.Machine.t -> policy:Kernel_sim.Policy.t -> ?seed:int -> unit ->
+  summary
+(** Boot a fresh kernel per metric and collect the full summary. *)

@@ -1,0 +1,14 @@
+open Ppc
+module Kernel = Kernel_sim.Kernel
+
+let perf k f =
+  let before = Perf.snapshot (Kernel.perf k) in
+  f ();
+  Perf.diff ~after:(Perf.snapshot (Kernel.perf k)) ~before
+
+let cycles k f = (perf k f).Perf.cycles
+
+let us k f =
+  Cost.us_of_cycles
+    ~mhz:(Kernel.machine k).Machine.mhz
+    (cycles k f)

@@ -1,0 +1,48 @@
+(** A multiuser "program development" day: the aggregate workload behind
+    the paper's headline claim.
+
+    §1: "we have carried out a series of optimizations that has improved
+    application wall-clock performance by anywhere from 10% to several
+    orders of magnitude", and §9's observation that "the idle task runs
+    quite often even on a system heavily loaded with users compiling,
+    editing, reading mail so a lot of I/O happens that must be waited
+    for."
+
+    The scenario: an interactive editor (keystroke bursts between think
+    times), a mail daemon (periodic wakeups reading its spool), a shell
+    spawning short-lived utilities (fork/exec/exit), and a long compile
+    grinding along — all interleaved round-robin with disk waits feeding
+    the idle task.  [measure] reports total busy time plus the mean
+    {e interactive} latency (cycles the editor needs for one keystroke
+    burst), the number a user feels. *)
+
+module Kernel = Kernel_sim.Kernel
+
+type params = {
+  rounds : int;          (** interleaving rounds ("seconds") *)
+  editor_pages : int;    (** editor buffer working set *)
+  compile_pages : int;   (** compiler working set *)
+  spool_pages : int;     (** mail spool file *)
+}
+
+val default_params : params
+
+type result = {
+  perf : Ppc.Perf.t;
+  busy_us : float;
+  wall_us : float;
+  keystroke_us : float;  (** mean editor-burst latency *)
+  utility_us : float;    (** mean fork+exec+exit latency for shell jobs *)
+}
+
+val run : Kernel.t -> params:params -> float * float
+(** Drive the scenario; returns (mean keystroke cycles, mean utility
+    cycles) for callers that measure around it. *)
+
+val measure :
+  machine:Ppc.Machine.t ->
+  policy:Kernel_sim.Policy.t ->
+  ?params:params ->
+  ?seed:int ->
+  unit ->
+  result

@@ -1,0 +1,28 @@
+open Ppc
+
+type t = {
+  rng : Rng.t;
+  base_ea : Addr.ea;
+  n_pages : int;
+  hot_pages : int;
+  locality : float;
+}
+
+let create ~rng ~base_ea ~pages ?(hot_fraction = 0.2) ?(locality = 0.8) () =
+  if pages <= 0 then invalid_arg "Refgen.create: pages";
+  { rng;
+    base_ea;
+    n_pages = pages;
+    hot_pages = max 1 (int_of_float (float_of_int pages *. hot_fraction));
+    locality }
+
+let next t =
+  let page =
+    if Rng.float t.rng < t.locality then Rng.int t.rng t.hot_pages
+    else Rng.int t.rng t.n_pages
+  in
+  let offset = Rng.int t.rng (Addr.page_size / 4) * 4 in
+  t.base_ea + (page lsl Addr.page_shift) + offset
+
+let pages t = t.n_pages
+let base t = t.base_ea

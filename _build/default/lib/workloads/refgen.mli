@@ -1,0 +1,30 @@
+(** Synthetic memory-reference generation.
+
+    A working-set model: a region of [pages] pages of which a [hot]
+    fraction receives [locality] of the references; the rest spread
+    uniformly.  This is the standard two-level locality approximation and
+    is enough to exercise TLB capacity, htab occupancy and cache reuse
+    the way real program phases do.  Fully deterministic given the
+    generator. *)
+
+open Ppc
+
+type t
+
+val create :
+  rng:Rng.t ->
+  base_ea:Addr.ea ->
+  pages:int ->
+  ?hot_fraction:float ->
+  ?locality:float ->
+  unit ->
+  t
+(** [create ~rng ~base_ea ~pages ()] — defaults: 20% of pages are hot and
+    receive 80% of references. *)
+
+val next : t -> Addr.ea
+(** The next reference address (word-aligned, anywhere in the region). *)
+
+val pages : t -> int
+
+val base : t -> Addr.ea

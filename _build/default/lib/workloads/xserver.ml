@@ -1,0 +1,82 @@
+open Ppc
+module Kernel = Kernel_sim.Kernel
+module Mm = Kernel_sim.Mm
+
+type params = {
+  rounds : int;
+  clients : int;
+  fb_pages : int;
+  draws_per_round : int;
+}
+
+let default_params =
+  { rounds = 60; clients = 3; fb_pages = 1024; draws_per_round = 48 }
+
+(* clients use the standard 16-page text image; the server's is larger *)
+let client_data = Mm.user_text_base + (16 lsl Addr.page_shift)
+let server_data = Mm.user_text_base + (48 lsl Addr.page_shift)
+
+let run k ~params:p =
+  if p.clients < 1 || p.rounds < 1 || p.fb_pages < 1 then
+    invalid_arg "Xserver.run: params must be positive";
+  let rng = Kernel.rng k in
+  let server = Kernel.spawn k ~text_pages:48 ~data_pages:32 () in
+  let clients = Array.init p.clients (fun _ -> Kernel.spawn k ()) in
+  let to_server = Kernel.new_pipe k in
+  let to_client = Kernel.new_pipe k in
+  (* The server maps the aperture and warms its own code/data. *)
+  Kernel.switch_to k server;
+  let fb = Kernel.sys_map_framebuffer k ~pages:p.fb_pages in
+  Kernel.user_run k ~instrs:4000;
+  Array.iter
+    (fun c ->
+      Kernel.switch_to k c;
+      Kernel.user_run k ~instrs:1000)
+    clients;
+  for round = 0 to p.rounds - 1 do
+    (* a client builds a request and sends it *)
+    let c = clients.(round mod p.clients) in
+    Kernel.switch_to k c;
+    Kernel.user_run k ~instrs:600;
+    for i = 0 to 5 do
+      Kernel.touch k Mmu.Store (client_data + (i lsl Addr.page_shift))
+    done;
+    ignore (Kernel.sys_pipe_write k to_server ~buf:client_data ~bytes:64 : int);
+    (* the server wakes, parses, and draws: scanline batches scattered
+       across the aperture *)
+    Kernel.switch_to k server;
+    ignore (Kernel.sys_pipe_read k to_server ~buf:server_data ~bytes:64 : int);
+    Kernel.user_run k ~instrs:1200;
+    for _ = 1 to p.draws_per_round do
+      let page = Rng.int rng p.fb_pages in
+      let base = fb + (page lsl Addr.page_shift) in
+      (* one scanline burst: four lines within the page *)
+      for line = 0 to 3 do
+        Kernel.touch k Mmu.Store (base + (line * Addr.line_size))
+      done
+    done;
+    ignore (Kernel.sys_pipe_write k to_client ~buf:server_data ~bytes:32 : int);
+    Kernel.switch_to k c;
+    ignore (Kernel.sys_pipe_read k to_client ~buf:client_data ~bytes:32 : int)
+  done;
+  Array.iter
+    (fun c ->
+      Kernel.switch_to k c;
+      Kernel.sys_exit k)
+    clients;
+  Kernel.switch_to k server;
+  Kernel.sys_exit k
+
+type result = {
+  perf : Perf.t;
+  wall_us : float;
+  us_per_round : float;
+}
+
+let measure ~machine ~policy ?(params = default_params) ?(seed = 42) () =
+  let k = Kernel.boot ~machine ~policy ~seed () in
+  let perf = Measure.perf k (fun () -> run k ~params) in
+  let wall_us =
+    Cost.us_of_cycles ~mhz:machine.Machine.mhz perf.Perf.cycles
+  in
+  { perf; wall_us; us_per_round = wall_us /. float_of_int params.rounds }

@@ -1,0 +1,44 @@
+(** An X-server-style workload for the frame-buffer BAT proposal.
+
+    §5.1 suggests (but does not implement): "having the kernel dedicate a
+    BAT mapping to the frame buffer itself so programs such as X do not
+    compete constantly with other applications or the kernel for TLB
+    space ... the entire mechanism could be done per-process with a call
+    to ioremap() and giving each process its own data BAT entry that
+    could be switched during a context switch."
+
+    This workload is the scenario that motivates it: a display server
+    owning a 4 MB frame-buffer aperture (1024 pages — eight times a
+    604's data TLB) scribbles scanlines all over it while client
+    applications make requests over pipes and run their own working
+    sets.  Without the dedicated BAT, every batch of drawing wipes the
+    data TLB; with it, frame-buffer stores never touch the TLB at all. *)
+
+module Kernel = Kernel_sim.Kernel
+
+type params = {
+  rounds : int;        (** request/draw cycles *)
+  clients : int;       (** client applications *)
+  fb_pages : int;      (** frame-buffer aperture size (1024 = 4 MB) *)
+  draws_per_round : int;  (** scanline batches the server draws per request *)
+}
+
+val default_params : params
+
+val run : Kernel.t -> params:params -> unit
+(** Drive the scenario on a booted kernel (creates the server and client
+    tasks, maps the frame buffer, runs the request loop). *)
+
+type result = {
+  perf : Ppc.Perf.t;
+  wall_us : float;
+  us_per_round : float;
+}
+
+val measure :
+  machine:Ppc.Machine.t ->
+  policy:Kernel_sim.Policy.t ->
+  ?params:params ->
+  ?seed:int ->
+  unit ->
+  result

@@ -1,0 +1,1 @@
+test/test_addr.ml: Addr Alcotest Ppc QCheck QCheck_alcotest

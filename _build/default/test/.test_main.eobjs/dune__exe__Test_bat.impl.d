@@ -1,0 +1,1 @@
+test/test_bat.ml: Alcotest Bat Ppc QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Cache Gen List Ppc QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Kernel_sim List Machine Mmu Mmu_tricks Perf Ppc String

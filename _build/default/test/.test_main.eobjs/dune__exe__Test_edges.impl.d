@@ -1,0 +1,1 @@
+test/test_edges.ml: Addr Alcotest Bat Cache Htab Kernel_sim List Machine Mmu Ppc Pte Rng Tlb Workloads

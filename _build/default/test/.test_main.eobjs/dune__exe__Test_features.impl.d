@@ -1,0 +1,1 @@
+test/test_features.ml: Addr Alcotest Bat Cache Kernel_sim List Machine Memsys Mmu Mmu_tricks Perf Ppc Workloads

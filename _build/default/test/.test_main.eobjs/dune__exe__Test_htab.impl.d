@@ -1,0 +1,1 @@
+test/test_htab.ml: Addr Alcotest Array Gen Htab List Ppc Pte QCheck QCheck_alcotest Rng

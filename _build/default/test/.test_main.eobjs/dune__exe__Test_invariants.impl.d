@@ -1,0 +1,1 @@
+test/test_invariants.ml: Addr Alcotest Kernel_sim Machine Mmu Mmu_tricks Perf Ppc QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Addr Alcotest Bat Kernel_sim List Machine Mmu Mmu_tricks Perf Ppc

@@ -1,0 +1,1 @@
+test/test_kparams.ml: Alcotest Kernel_sim List Ppc Printf Segment

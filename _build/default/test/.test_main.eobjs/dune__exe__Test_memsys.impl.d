@@ -1,0 +1,1 @@
+test/test_memsys.ml: Alcotest Cache Machine Memsys Perf Ppc

@@ -1,0 +1,1 @@
+test/test_mm.ml: Addr Alcotest Kernel_sim Option Ppc

@@ -1,0 +1,1 @@
+test/test_mmu.ml: Addr Alcotest Bat Cost Gen Hashtbl Htab List Machine Memsys Mmu Perf Ppc Pte QCheck QCheck_alcotest Rng Segment Tlb

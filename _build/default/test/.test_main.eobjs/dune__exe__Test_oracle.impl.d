@@ -1,0 +1,1 @@
+test/test_oracle.ml: Addr Gen Kernel_sim List Machine Mmu Mmu_tricks Option Ppc QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pagepool.ml: Alcotest Cache Kernel_sim Machine Memsys Option Perf Ppc

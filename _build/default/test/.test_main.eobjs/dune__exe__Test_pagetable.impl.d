@@ -1,0 +1,1 @@
+test/test_pagetable.ml: Addr Alcotest Array Gen Hashtbl Kernel_sim List Ppc QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_perf.ml: Alcotest Format Perf Ppc String

@@ -1,0 +1,1 @@
+test/test_physmem.ml: Alcotest Gen Hashtbl Kernel_sim List Option QCheck QCheck_alcotest

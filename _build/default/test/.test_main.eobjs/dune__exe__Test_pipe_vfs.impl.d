@@ -1,0 +1,1 @@
+test/test_pipe_vfs.ml: Alcotest Kernel_sim List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pte.ml: Addr Alcotest Ppc Pte QCheck QCheck_alcotest

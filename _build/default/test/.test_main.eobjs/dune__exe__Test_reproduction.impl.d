@@ -1,0 +1,1 @@
+test/test_reproduction.ml: Alcotest Kernel_sim Machine Mmu_tricks Perf Ppc Printf Workloads

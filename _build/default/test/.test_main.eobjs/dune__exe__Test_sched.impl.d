@@ -1,0 +1,1 @@
+test/test_sched.ml: Addr Alcotest Kernel_sim List Machine Mmu Perf Ppc Printf Workloads

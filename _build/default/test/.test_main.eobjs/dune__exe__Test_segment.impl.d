@@ -1,0 +1,1 @@
+test/test_segment.ml: Alcotest Ppc Segment

@@ -1,0 +1,1 @@
+test/test_tlb.ml: Addr Alcotest Gen List Ppc QCheck QCheck_alcotest Tlb

@@ -1,0 +1,1 @@
+test/test_tuning.ml: Alcotest Kernel_sim List Mmu_tricks

@@ -1,0 +1,1 @@
+test/test_vsid.ml: Alcotest Hashtbl Kernel_sim Ppc Printf Pte QCheck QCheck_alcotest

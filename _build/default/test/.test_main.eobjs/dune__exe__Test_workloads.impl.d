@@ -1,0 +1,1 @@
+test/test_workloads.ml: Addr Alcotest Kernel_sim List Machine Perf Ppc Printf Rng Workloads

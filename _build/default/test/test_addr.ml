@@ -1,0 +1,70 @@
+(* Address arithmetic: splits, joins, round trips. *)
+open Ppc
+
+let test_constants () =
+  Alcotest.(check int) "page size" 4096 Addr.page_size;
+  Alcotest.(check int) "line size" 32 Addr.line_size;
+  Alcotest.(check int) "mask" 0xFFFFFFFF Addr.ea_mask
+
+let test_split () =
+  let ea = 0xC0123456 in
+  Alcotest.(check int) "sr index" 0xC (Addr.sr_index ea);
+  Alcotest.(check int) "page index" 0x0123 (Addr.page_index ea);
+  Alcotest.(check int) "offset" 0x456 (Addr.page_offset ea);
+  Alcotest.(check int) "page base" 0xC0123000 (Addr.page_base ea);
+  Alcotest.(check int) "epn" 0xC0123 (Addr.epn ea)
+
+let test_vpn_roundtrip () =
+  let vsid = 0xABCDEF and ea = 0x7FFF8123 in
+  let vpn = Addr.vpn_of ~vsid ~ea in
+  Alcotest.(check int) "vsid back" vsid (Addr.vsid_of_vpn vpn);
+  Alcotest.(check int) "page index back" (Addr.page_index ea)
+    (Addr.page_index_of_vpn vpn)
+
+let test_pa_assembly () =
+  let rpn = 0x01234 and ea = 0x00000ABC in
+  let pa = Addr.pa_of ~rpn ~ea in
+  Alcotest.(check int) "pa" ((0x01234 lsl 12) lor 0xABC) pa;
+  Alcotest.(check int) "rpn back" rpn (Addr.rpn_of_pa pa)
+
+let test_line_index () =
+  Alcotest.(check int) "line 0" 0 (Addr.line_index 31);
+  Alcotest.(check int) "line 1" 1 (Addr.line_index 32);
+  Alcotest.(check int) "line of page" 128 (Addr.line_index 4096)
+
+let test_alignment () =
+  Alcotest.(check bool) "page aligned" true (Addr.is_page_aligned 0x40000000);
+  Alcotest.(check bool) "not aligned" false (Addr.is_page_aligned 0x40000004);
+  Alcotest.(check int) "round up exact" 2 (Addr.round_up_pages 8192);
+  Alcotest.(check int) "round up partial" 3 (Addr.round_up_pages 8193);
+  Alcotest.(check int) "round up zero" 0 (Addr.round_up_pages 0)
+
+let prop_vpn_roundtrip =
+  QCheck.Test.make ~name:"vpn round-trips vsid and page index" ~count:500
+    QCheck.(pair (int_bound 0xFFFFFF) (int_bound 0xFFFFFFF))
+    (fun (vsid, ea) ->
+      let vpn = Addr.vpn_of ~vsid ~ea in
+      Addr.vsid_of_vpn vpn = vsid
+      && Addr.page_index_of_vpn vpn = Addr.page_index ea)
+
+let prop_split_reassemble =
+  QCheck.Test.make ~name:"page base + offset reassembles ea" ~count:500
+    QCheck.(int_bound 0xFFFFFFF)
+    (fun ea -> Addr.page_base ea lor Addr.page_offset ea = ea)
+
+let prop_pa_preserves_offset =
+  QCheck.Test.make ~name:"translation preserves the byte offset" ~count:500
+    QCheck.(pair (int_bound 0xFFFFF) (int_bound 0xFFFFFFF))
+    (fun (rpn, ea) ->
+      Addr.page_offset (Addr.pa_of ~rpn ~ea) = Addr.page_offset ea)
+
+let suite =
+  [ Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "ea split" `Quick test_split;
+    Alcotest.test_case "vpn round trip" `Quick test_vpn_roundtrip;
+    Alcotest.test_case "pa assembly" `Quick test_pa_assembly;
+    Alcotest.test_case "line index" `Quick test_line_index;
+    Alcotest.test_case "alignment helpers" `Quick test_alignment;
+    QCheck_alcotest.to_alcotest prop_vpn_roundtrip;
+    QCheck_alcotest.to_alcotest prop_split_reassemble;
+    QCheck_alcotest.to_alcotest prop_pa_preserves_offset ]

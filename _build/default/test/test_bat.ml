@@ -1,0 +1,84 @@
+(* Block address translation registers. *)
+open Ppc
+
+let test_empty () =
+  let b = Bat.create () in
+  Alcotest.(check (option int)) "no match" None (Bat.translate b 0xC0000000);
+  Alcotest.(check int) "no valid entries" 0 (Bat.valid_count b)
+
+let test_basic_translate () =
+  let b = Bat.create () in
+  Bat.set b ~index:0 ~base_ea:0xC0000000 ~length:(4 * 1024 * 1024)
+    ~phys_base:0;
+  Alcotest.(check (option int)) "base" (Some 0) (Bat.translate b 0xC0000000);
+  Alcotest.(check (option int)) "interior" (Some 0x123456)
+    (Bat.translate b 0xC0123456);
+  Alcotest.(check (option int)) "last byte"
+    (Some 0x3FFFFF)
+    (Bat.translate b 0xC03FFFFF);
+  Alcotest.(check (option int)) "past end" None (Bat.translate b 0xC0400000);
+  Alcotest.(check (option int)) "below" None (Bat.translate b 0xBFFFFFFF)
+
+let test_nonzero_phys () =
+  let b = Bat.create () in
+  Bat.set b ~index:1 ~base_ea:0xF0000000 ~length:(128 * 1024)
+    ~phys_base:0x10000000;
+  Alcotest.(check (option int)) "offset preserved" (Some 0x10000ABC)
+    (Bat.translate b 0xF0000ABC)
+
+let test_validation () =
+  let b = Bat.create () in
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "too small" true
+    (raises (fun () ->
+         Bat.set b ~index:0 ~base_ea:0 ~length:(64 * 1024) ~phys_base:0));
+  Alcotest.(check bool) "not power of two" true
+    (raises (fun () ->
+         Bat.set b ~index:0 ~base_ea:0 ~length:(3 * 128 * 1024) ~phys_base:0));
+  Alcotest.(check bool) "misaligned base" true
+    (raises (fun () ->
+         Bat.set b ~index:0 ~base_ea:0x10000 ~length:(128 * 1024)
+           ~phys_base:0));
+  Alcotest.(check bool) "bad index" true
+    (raises (fun () ->
+         Bat.set b ~index:4 ~base_ea:0 ~length:(128 * 1024) ~phys_base:0))
+
+let test_clear () =
+  let b = Bat.create () in
+  Bat.set b ~index:0 ~base_ea:0 ~length:(128 * 1024) ~phys_base:0;
+  Alcotest.(check int) "one valid" 1 (Bat.valid_count b);
+  Bat.clear b ~index:0;
+  Alcotest.(check (option int)) "cleared" None (Bat.translate b 0);
+  Bat.set b ~index:0 ~base_ea:0 ~length:(128 * 1024) ~phys_base:0;
+  Bat.set b ~index:3 ~base_ea:0x80000000 ~length:(128 * 1024) ~phys_base:0;
+  Bat.clear_all b;
+  Alcotest.(check int) "all cleared" 0 (Bat.valid_count b)
+
+let test_covers () =
+  let b = Bat.create () in
+  Bat.set b ~index:2 ~base_ea:0xC0000000 ~length:(32 * 1024 * 1024)
+    ~phys_base:0;
+  Alcotest.(check bool) "covers kernel" true (Bat.covers b 0xC1FFFFFF);
+  Alcotest.(check bool) "not user" false (Bat.covers b 0x01800000)
+
+let prop_offset_preserved =
+  QCheck.Test.make ~name:"bat preserves offset within block" ~count:500
+    QCheck.(int_bound (128 * 1024 - 1))
+    (fun off ->
+      let b = Bat.create () in
+      Bat.set b ~index:0 ~base_ea:0xC0000000 ~length:(128 * 1024)
+        ~phys_base:0x01000000;
+      Bat.translate b (0xC0000000 + off) = Some (0x01000000 + off))
+
+let suite =
+  [ Alcotest.test_case "empty bank" `Quick test_empty;
+    Alcotest.test_case "basic translate" `Quick test_basic_translate;
+    Alcotest.test_case "nonzero phys base" `Quick test_nonzero_phys;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "covers" `Quick test_covers;
+    QCheck_alcotest.to_alcotest prop_offset_preserved ]

@@ -1,0 +1,255 @@
+(* The implemented proposals: per-process frame-buffer BAT (§5.1),
+   idle cache locking (§10.1), context-switch preloads (§10.2),
+   and the write-back cost model they interact with. *)
+open Ppc
+module Kernel = Kernel_sim.Kernel
+module Policy = Kernel_sim.Policy
+module Mm = Kernel_sim.Mm
+module Task = Kernel_sim.Task
+module Config = Mmu_tricks.Config
+
+let boot policy = Kernel.boot ~machine:Machine.ppc604_185 ~policy ~seed:5 ()
+
+(* --- frame buffer ------------------------------------------------------ *)
+
+let test_fb_maps_aperture () =
+  let k = boot Policy.optimized in
+  let t = Kernel.spawn k () in
+  Kernel.switch_to k t;
+  let ea = Kernel.sys_map_framebuffer k ~pages:64 in
+  Alcotest.(check int) "at the fb base" Mm.framebuffer_base ea;
+  Alcotest.(check bool) "task flagged" true t.Task.maps_framebuffer;
+  (* drawing works and goes through the page tables (no BAT policy) *)
+  Kernel.touch k Mmu.Store ea;
+  Kernel.touch k Mmu.Store (ea + (63 * Addr.page_size));
+  Alcotest.(check bool) "fb faults populate page tables" true
+    (Mm.mapped_pages t.Task.mm >= 2)
+
+let test_fb_frames_never_freed () =
+  let k = boot Policy.optimized in
+  let free0 = Kernel_sim.Physmem.free_frames (Kernel.physmem k) in
+  let t = Kernel.spawn k () in
+  Kernel.switch_to k t;
+  let ea = Kernel.sys_map_framebuffer k ~pages:16 in
+  for i = 0 to 15 do
+    Kernel.touch k Mmu.Store (ea + (i * Addr.page_size))
+  done;
+  (* aperture pages are device memory: they consume no RAM frames and
+     exit must not try to free them *)
+  Kernel.sys_exit k;
+  Alcotest.(check int) "all RAM frames back" free0
+    (Kernel_sim.Physmem.free_frames (Kernel.physmem k))
+
+let test_fb_bat_bypasses_tlb () =
+  let k = boot Config.optimized_fb_bat in
+  let t = Kernel.spawn k () in
+  Kernel.switch_to k t;
+  let ea = Kernel.sys_map_framebuffer k ~pages:64 in
+  let before = Perf.tlb_misses (Kernel.perf k) in
+  for i = 0 to 63 do
+    Kernel.touch k Mmu.Store (ea + (i * Addr.page_size))
+  done;
+  Alcotest.(check int) "no TLB misses for fb stores" before
+    (Perf.tlb_misses (Kernel.perf k));
+  Alcotest.(check int) "no faults either" 0 (Kernel.perf k).Perf.page_faults
+
+let test_fb_bat_switched_per_process () =
+  let k = boot Config.optimized_fb_bat in
+  let x = Kernel.spawn k () and other = Kernel.spawn k () in
+  Kernel.switch_to k x;
+  let ea = Kernel.sys_map_framebuffer k ~pages:16 in
+  let dbat = Mmu.dbat (Kernel.mmu k) in
+  Alcotest.(check bool) "bat live for the owner" true (Bat.covers dbat ea);
+  Kernel.switch_to k other;
+  Alcotest.(check bool) "bat cleared for others" false (Bat.covers dbat ea);
+  Kernel.switch_to k x;
+  Alcotest.(check bool) "bat restored on switch back" true
+    (Bat.covers dbat ea)
+
+let test_fb_translation_correct () =
+  let k = boot Config.optimized_fb_bat in
+  let t = Kernel.spawn k () in
+  Kernel.switch_to k t;
+  let ea = Kernel.sys_map_framebuffer k ~pages:16 in
+  (* BAT and page-table paths must agree on the physical address *)
+  match Mmu.probe (Kernel.mmu k) Mmu.Store (ea + 0x5123) with
+  | Some pa ->
+      Alcotest.(check int) "aperture offset preserved" 0x5123
+        (pa land 0xFFFF);
+      Alcotest.(check bool) "outside RAM" true
+        (pa >= 0x0800_0000)
+  | None -> Alcotest.fail "fb must translate"
+
+let test_fb_munmap_keeps_device_frames () =
+  let k = boot Policy.optimized in
+  let t = Kernel.spawn k () in
+  Kernel.switch_to k t;
+  let ea = Kernel.sys_map_framebuffer k ~pages:8 in
+  let free_before = Kernel_sim.Physmem.free_frames (Kernel.physmem k) in
+  for i = 0 to 7 do
+    Kernel.touch k Mmu.Store (ea + (i * Addr.page_size))
+  done;
+  let free_touched = Kernel_sim.Physmem.free_frames (Kernel.physmem k) in
+  (* aperture faults consume no data frames - at most one page-table
+     directory page for the new region *)
+  Alcotest.(check bool) "no data frames for device pages" true
+    (free_before - free_touched <= 1);
+  Kernel.sys_munmap k ~ea ~pages:8;
+  (* and munmap must not "free" the device frames into the allocator *)
+  Alcotest.(check int) "munmap frees nothing" free_touched
+    (Kernel_sim.Physmem.free_frames (Kernel.physmem k));
+  match Kernel.touch k Mmu.Load ea with
+  | exception Kernel.Segfault _ -> ()
+  | () -> Alcotest.fail "unmapped aperture must fault"
+
+let test_fb_bat_dropped_on_munmap () =
+  let k = boot Config.optimized_fb_bat in
+  let t = Kernel.spawn k () in
+  Kernel.switch_to k t;
+  let ea = Kernel.sys_map_framebuffer k ~pages:16 in
+  Kernel.touch k Mmu.Store ea;
+  Kernel.sys_munmap k ~ea ~pages:16;
+  let dbat = Mmu.dbat (Kernel.mmu k) in
+  Alcotest.(check bool) "BAT cleared with the mapping" false
+    (Bat.covers dbat ea);
+  (match Kernel.touch k Mmu.Store ea with
+  | exception Kernel.Segfault _ -> ()
+  | () -> Alcotest.fail "unmapped fb must fault");
+  Alcotest.(check bool) "flag dropped" false t.Task.maps_framebuffer
+
+let test_fb_bat_dropped_on_exec () =
+  let k = boot Config.optimized_fb_bat in
+  let t = Kernel.spawn k () in
+  Kernel.switch_to k t;
+  let ea = Kernel.sys_map_framebuffer k ~pages:16 in
+  Kernel.sys_exec k ~text_pages:4 ~data_pages:4 ~stack_pages:2;
+  Alcotest.(check bool) "BAT gone after exec" false
+    (Bat.covers (Mmu.dbat (Kernel.mmu k)) ea);
+  match Kernel.touch k Mmu.Load ea with
+  | exception Kernel.Segfault _ -> ()
+  | () -> Alcotest.fail "fb must not survive exec"
+
+(* --- idle cache locking ------------------------------------------------- *)
+
+let test_idle_lock_protects_cache () =
+  let k = boot { Config.clearing_cached_list with Policy.idle_cache_lock = true } in
+  let t = Kernel.spawn k () in
+  Kernel.switch_to k t;
+  (* warm a user line *)
+  let data = Mm.user_text_base + (16 * Addr.page_size) in
+  Kernel.touch k Mmu.Store data;
+  let dcache = Memsys.dcache (Kernel.memsys k) in
+  let occ_before = Cache.occupancy dcache in
+  Kernel.idle_for k ~cycles:100_000;
+  Alcotest.(check bool) "idle work allocated nothing" true
+    (Cache.occupancy dcache <= occ_before);
+  Alcotest.(check bool) "lock released after idle" false
+    (Cache.is_locked dcache)
+
+let test_no_lock_pollutes () =
+  let k = boot Config.clearing_cached_list in
+  let t = Kernel.spawn k () in
+  Kernel.switch_to k t;
+  let dcache = Memsys.dcache (Kernel.memsys k) in
+  let alloc0 = Cache.stats_allocations dcache Cache.Idle_clear in
+  Kernel.idle_for k ~cycles:100_000;
+  Alcotest.(check bool) "unlocked idle clearing allocates" true
+    (Cache.stats_allocations dcache Cache.Idle_clear > alloc0)
+
+(* --- preload ------------------------------------------------------------- *)
+
+let test_preload_warms_task_lines () =
+  let k = boot Config.optimized_preload in
+  let a = Kernel.spawn k () and b = Kernel.spawn k () in
+  Kernel.switch_to k a;
+  Kernel.switch_to k b;
+  let dcache = Memsys.dcache (Kernel.memsys k) in
+  let ks = Kernel_sim.Kparams.kernel_phys_of_virt (Task.kstack_ea b) in
+  Alcotest.(check bool) "incoming kstack line resident" true
+    (Cache.contains dcache ks)
+
+(* --- write-back accounting ---------------------------------------------- *)
+
+let test_writebacks_counted () =
+  let machine = Machine.ppc604_185 in
+  let perf = Perf.create () in
+  let m = Memsys.create ~machine ~perf in
+  (* dirty a line, then stream over the same set until it is evicted *)
+  Memsys.data_ref m ~source:Cache.User ~inhibited:false ~write:true 0x0;
+  let set_stride = 32 * 1024 / 4 (* bytes per way *) in
+  for i = 1 to 4 do
+    Memsys.data_ref m ~source:Cache.User ~inhibited:false ~write:false
+      (i * set_stride)
+  done;
+  Alcotest.(check bool) "a write-back was charged" true
+    (perf.Perf.dcache_writebacks >= 1)
+
+let test_writeback_costs_cycles () =
+  let machine = Machine.ppc604_185 in
+  let mk write =
+    let perf = Perf.create () in
+    let m = Memsys.create ~machine ~perf in
+    Memsys.data_ref m ~source:Cache.User ~inhibited:false ~write 0x0;
+    let set_stride = 32 * 1024 / 4 in
+    for i = 1 to 4 do
+      Memsys.data_ref m ~source:Cache.User ~inhibited:false ~write:false
+        (i * set_stride)
+    done;
+    perf.Perf.cycles
+  in
+  Alcotest.(check bool) "evicting dirty costs more than clean" true
+    (mk true > mk false)
+
+(* --- the xserver workload ------------------------------------------------ *)
+
+let small_x =
+  { Workloads.Xserver.rounds = 6;
+    clients = 2;
+    fb_pages = 256;
+    draws_per_round = 16 }
+
+let test_xserver_runs_and_cleans_up () =
+  let k = boot Policy.optimized in
+  Workloads.Xserver.run k ~params:small_x;
+  Alcotest.(check int) "no tasks left" 0 (List.length (Kernel.tasks k));
+  Alcotest.(check bool) "work happened" true
+    ((Kernel.perf k).Perf.syscalls > 10)
+
+let test_xserver_fb_bat_reduces_misses () =
+  let run policy =
+    (Workloads.Xserver.measure ~machine:Machine.ppc604_185 ~policy
+       ~params:{ small_x with Workloads.Xserver.rounds = 20 } ())
+      .Workloads.Xserver.perf
+  in
+  let off = run Policy.optimized in
+  let on_ = run Config.optimized_fb_bat in
+  Alcotest.(check bool) "dedicated BAT cuts TLB misses" true
+    (Perf.tlb_misses on_ < Perf.tlb_misses off)
+
+let suite =
+  [ Alcotest.test_case "fb maps aperture" `Quick test_fb_maps_aperture;
+    Alcotest.test_case "fb frames never freed" `Quick
+      test_fb_frames_never_freed;
+    Alcotest.test_case "fb BAT bypasses TLB" `Quick test_fb_bat_bypasses_tlb;
+    Alcotest.test_case "fb BAT switched per process" `Quick
+      test_fb_bat_switched_per_process;
+    Alcotest.test_case "fb translation correct" `Quick
+      test_fb_translation_correct;
+    Alcotest.test_case "fb munmap keeps device frames" `Quick
+      test_fb_munmap_keeps_device_frames;
+    Alcotest.test_case "fb BAT dropped on munmap" `Quick
+      test_fb_bat_dropped_on_munmap;
+    Alcotest.test_case "fb BAT dropped on exec" `Quick
+      test_fb_bat_dropped_on_exec;
+    Alcotest.test_case "idle lock protects cache" `Quick
+      test_idle_lock_protects_cache;
+    Alcotest.test_case "unlocked idle pollutes" `Quick test_no_lock_pollutes;
+    Alcotest.test_case "preload warms task lines" `Quick
+      test_preload_warms_task_lines;
+    Alcotest.test_case "write-backs counted" `Quick test_writebacks_counted;
+    Alcotest.test_case "write-back costs cycles" `Quick
+      test_writeback_costs_cycles;
+    Alcotest.test_case "xserver runs and cleans up" `Quick
+      test_xserver_runs_and_cleans_up;
+    Alcotest.test_case "fb BAT reduces misses (E11)" `Slow
+      test_xserver_fb_bat_reduces_misses ]

@@ -1,0 +1,369 @@
+(* Hashed page table: search order, insert/evict policy, zombie reclaim. *)
+open Ppc
+
+let mk ?(n_ptes = 1024) () = Htab.create ~n_ptes ()
+let rng () = Rng.create ~seed:99
+let no_ref (_ : Addr.pa) = ()
+
+let insert ?(rpn = 7) h ~vsid ~page_index =
+  Htab.insert h ~rng:(rng ()) ~vsid ~page_index ~rpn ~wimg:Pte.wimg_default
+    ~protection:Pte.Read_write ~on_ref:no_ref
+
+let test_insert_search () =
+  let h = mk () in
+  (match insert h ~vsid:0x42 ~page_index:0x10 with
+  | Htab.Filled_empty -> ()
+  | Htab.Replaced _ -> Alcotest.fail "table was empty");
+  match Htab.search h ~vsid:0x42 ~page_index:0x10 ~on_ref:no_ref with
+  | Some pte -> Alcotest.(check int) "rpn" 7 pte.Pte.rpn
+  | None -> Alcotest.fail "expected hit"
+
+let test_search_miss () =
+  let h = mk () in
+  Alcotest.(check bool) "empty table misses" true
+    (Htab.search h ~vsid:1 ~page_index:2 ~on_ref:no_ref = None)
+
+let test_search_ref_counting () =
+  let h = mk () in
+  ignore (insert h ~vsid:0x42 ~page_index:0x10 : Htab.insert_outcome);
+  (* a miss examines both PTEGs: 16 references *)
+  let refs = ref 0 in
+  ignore
+    (Htab.search h ~vsid:0x99 ~page_index:0x11 ~on_ref:(fun _ -> incr refs)
+      : Pte.t option);
+  Alcotest.(check int) "full search is 16 references" 16 !refs
+
+let test_update_in_place () =
+  let h = mk () in
+  ignore (insert h ~rpn:1 ~vsid:3 ~page_index:4 : Htab.insert_outcome);
+  ignore (insert h ~rpn:2 ~vsid:3 ~page_index:4 : Htab.insert_outcome);
+  Alcotest.(check int) "single entry" 1 (Htab.occupancy h);
+  match Htab.search h ~vsid:3 ~page_index:4 ~on_ref:no_ref with
+  | Some pte -> Alcotest.(check int) "updated rpn" 2 pte.Pte.rpn
+  | None -> Alcotest.fail "expected hit"
+
+(* vsids that all collide into the same primary PTEG for page_index 0 *)
+let colliding_vsids h n =
+  let target = Pte.hash_primary ~n_ptegs:(Htab.n_ptegs h) ~vsid:0 ~page_index:0 in
+  let rec collect acc vsid =
+    if List.length acc >= n then List.rev acc
+    else
+      let p =
+        Pte.hash_primary ~n_ptegs:(Htab.n_ptegs h) ~vsid ~page_index:0
+      in
+      collect (if p = target then vsid :: acc else acc) (vsid + 1)
+  in
+  collect [] 0
+
+let test_overflow_to_secondary () =
+  let h = mk () in
+  (* 9 entries hashing to one PTEG: the 9th goes to the secondary group *)
+  let vsids = colliding_vsids h 9 in
+  List.iter
+    (fun vsid ->
+      match insert h ~vsid ~page_index:0 with
+      | Htab.Filled_empty -> ()
+      | Htab.Replaced _ -> Alcotest.fail "should not evict yet")
+    vsids;
+  Alcotest.(check int) "all placed" 9 (Htab.occupancy h);
+  (* all 9 are findable *)
+  List.iter
+    (fun vsid ->
+      Alcotest.(check bool) "findable" true
+        (Htab.search h ~vsid ~page_index:0 ~on_ref:no_ref <> None))
+    vsids;
+  (* the 9th entry has the H (secondary) bit set *)
+  let ninth = List.nth vsids 8 in
+  match Htab.search h ~vsid:ninth ~page_index:0 ~on_ref:no_ref with
+  | Some pte -> Alcotest.(check bool) "secondary bit" true pte.Pte.secondary
+  | None -> Alcotest.fail "expected hit"
+
+let test_eviction_when_both_full () =
+  let h = mk () in
+  (* fill both PTEGs (16 slots) with colliding tags, the 17th evicts *)
+  let vsids = colliding_vsids h 17 in
+  let outcomes = List.map (fun vsid -> insert h ~vsid ~page_index:0) vsids in
+  let evictions =
+    List.filter (function Htab.Replaced _ -> true | _ -> false) outcomes
+  in
+  Alcotest.(check int) "exactly one eviction" 1 (List.length evictions);
+  Alcotest.(check int) "occupancy capped at 16" 16 (Htab.occupancy h)
+
+let test_invalidate_page () =
+  let h = mk () in
+  ignore (insert h ~vsid:5 ~page_index:6 : Htab.insert_outcome);
+  Alcotest.(check bool) "invalidated" true
+    (Htab.invalidate_page h ~vsid:5 ~page_index:6 ~on_ref:no_ref);
+  Alcotest.(check bool) "gone" true
+    (Htab.search h ~vsid:5 ~page_index:6 ~on_ref:no_ref = None);
+  Alcotest.(check bool) "second invalidate is false" false
+    (Htab.invalidate_page h ~vsid:5 ~page_index:6 ~on_ref:no_ref)
+
+let test_reclaim_zombies () =
+  let h = mk () in
+  (* fixed VSID per generation: entries scatter over distinct PTEGs *)
+  for i = 0 to 9 do
+    ignore (insert h ~vsid:0x101 ~page_index:i : Htab.insert_outcome)
+  done;
+  for i = 0 to 9 do
+    ignore (insert h ~vsid:0x200 ~page_index:i : Htab.insert_outcome)
+  done;
+  let is_zombie vsid = vsid < 0x200 in
+  let reclaimed =
+    Htab.reclaim_zombies h ~is_zombie ~max_ptes:(Htab.capacity h)
+      ~on_ref:no_ref
+  in
+  Alcotest.(check int) "reclaimed the zombie generation" 10 reclaimed;
+  Alcotest.(check int) "live generation survives" 10 (Htab.occupancy h);
+  Alcotest.(check int) "survivors are live" 10
+    (Htab.count_valid h ~f:(fun pte -> pte.Pte.vsid >= 0x200))
+
+let test_reclaim_cursor_resumes () =
+  let h = mk () in
+  for i = 0 to 9 do
+    ignore (insert h ~vsid:0x100 ~page_index:i : Htab.insert_outcome)
+  done;
+  let is_zombie _ = true in
+  (* two half-table scans must cover the whole table *)
+  let half = Htab.capacity h / 2 in
+  let r1 = Htab.reclaim_zombies h ~is_zombie ~max_ptes:half ~on_ref:no_ref in
+  let r2 = Htab.reclaim_zombies h ~is_zombie ~max_ptes:half ~on_ref:no_ref in
+  Alcotest.(check int) "everything reclaimed across slices" 10 (r1 + r2);
+  Alcotest.(check int) "empty" 0 (Htab.occupancy h)
+
+let test_histogram () =
+  let h = mk () in
+  let hist0 = Htab.histogram h in
+  Alcotest.(check int) "all PTEGs empty" (Htab.n_ptegs h) hist0.(0);
+  ignore (insert h ~vsid:1 ~page_index:1 : Htab.insert_outcome);
+  let hist1 = Htab.histogram h in
+  Alcotest.(check int) "one PTEG with one entry" 1 hist1.(1);
+  Alcotest.(check int) "rest empty" (Htab.n_ptegs h - 1) hist1.(0)
+
+let test_clear () =
+  let h = mk () in
+  for i = 0 to 20 do
+    ignore (insert h ~vsid:i ~page_index:i : Htab.insert_outcome)
+  done;
+  Htab.clear h;
+  Alcotest.(check int) "cleared" 0 (Htab.occupancy h)
+
+let test_pte_pa_layout () =
+  let h = Htab.create ~base_pa:0x300000 ~n_ptes:1024 () in
+  Alcotest.(check int) "first slot" 0x300000 (Htab.pte_pa h ~pteg:0 ~slot:0);
+  Alcotest.(check int) "8 bytes per pte" 0x300008
+    (Htab.pte_pa h ~pteg:0 ~slot:1);
+  Alcotest.(check int) "64 bytes per PTEG" 0x300040
+    (Htab.pte_pa h ~pteg:1 ~slot:0)
+
+let prop_insert_then_found =
+  QCheck.Test.make ~name:"inserted entry is searchable (no pressure)"
+    ~count:300
+    QCheck.(pair (int_bound 0xFFFFFF) (int_bound 0xFFFF))
+    (fun (vsid, page_index) ->
+      let h = mk () in
+      ignore (insert h ~vsid ~page_index : Htab.insert_outcome);
+      Htab.search h ~vsid ~page_index ~on_ref:no_ref <> None)
+
+let prop_occupancy_bounded =
+  QCheck.Test.make ~name:"htab occupancy never exceeds capacity" ~count:20
+    QCheck.(
+      list_of_size (Gen.return 400)
+        (pair (int_bound 0xFFF) (int_bound 0xFF)))
+    (fun tags ->
+      let h = Htab.create ~n_ptes:64 () in
+      List.iter
+        (fun (vsid, page_index) ->
+          ignore (insert h ~vsid ~page_index : Htab.insert_outcome))
+        tags;
+      Htab.occupancy h <= Htab.capacity h)
+
+let prop_reclaim_never_kills_live =
+  QCheck.Test.make ~name:"full reclaim removes all zombies, only zombies"
+    ~count:50
+    QCheck.(list_of_size (Gen.return 50) (int_bound 0xFFF))
+    (fun vsids ->
+      let h = mk () in
+      List.iteri
+        (fun i vsid ->
+          ignore (insert h ~vsid ~page_index:i : Htab.insert_outcome))
+        vsids;
+      let is_zombie vsid = vsid land 1 = 0 in
+      let live_before =
+        Htab.count_valid h ~f:(fun pte -> not (is_zombie pte.Pte.vsid))
+      in
+      ignore
+        (Htab.reclaim_zombies h ~is_zombie ~max_ptes:(Htab.capacity h)
+           ~on_ref:no_ref
+          : int);
+      Htab.count_valid h ~f:(fun pte -> is_zombie pte.Pte.vsid) = 0
+      && Htab.occupancy h = live_before)
+
+let prop_histogram_sums =
+  QCheck.Test.make ~name:"histogram partitions the PTEGs" ~count:50
+    QCheck.(
+      list_of_size (Gen.return 100)
+        (pair (int_bound 0xFFFF) (int_bound 0xFF)))
+    (fun tags ->
+      let h = mk () in
+      List.iter
+        (fun (vsid, page_index) ->
+          ignore (insert h ~vsid ~page_index : Htab.insert_outcome))
+        tags;
+      let hist = Htab.histogram h in
+      let total_ptegs = Array.fold_left ( + ) 0 hist in
+      let weighted = ref 0 in
+      Array.iteri (fun k n -> weighted := !weighted + (k * n)) hist;
+      total_ptegs = Htab.n_ptegs h && !weighted = Htab.occupancy h)
+
+let prop_search_hit_cost_bounded =
+  QCheck.Test.make ~name:"a hit is found within 16 references" ~count:200
+    QCheck.(pair (int_bound 0xFFFF) (int_bound 0xFF))
+    (fun (vsid, page_index) ->
+      let h = mk () in
+      ignore (insert h ~vsid ~page_index : Htab.insert_outcome);
+      let refs = ref 0 in
+      ignore
+        (Htab.search h ~vsid ~page_index ~on_ref:(fun _ -> incr refs)
+          : Pte.t option);
+      !refs >= 1 && !refs <= 16)
+
+let test_insert_prefers_primary () =
+  let h = mk () in
+  (match insert h ~vsid:0x33 ~page_index:0x44 with
+  | Htab.Filled_empty -> ()
+  | Htab.Replaced _ -> Alcotest.fail "empty table");
+  match Htab.search h ~vsid:0x33 ~page_index:0x44 ~on_ref:no_ref with
+  | Some pte ->
+      Alcotest.(check bool) "primary group (H clear)" false pte.Pte.secondary
+  | None -> Alcotest.fail "expected hit"
+
+let test_primary_hit_cheaper_than_secondary () =
+  let h = mk () in
+  let vsids = colliding_vsids h 9 in
+  List.iter
+    (fun vsid -> ignore (insert h ~vsid ~page_index:0 : Htab.insert_outcome))
+    vsids;
+  let refs_for vsid =
+    let refs = ref 0 in
+    ignore
+      (Htab.search h ~vsid ~page_index:0 ~on_ref:(fun _ -> incr refs)
+        : Pte.t option);
+    !refs
+  in
+  (* the first insert sits in primary slot 0; the ninth overflowed *)
+  Alcotest.(check int) "first entry: one reference" 1
+    (refs_for (List.nth vsids 0));
+  Alcotest.(check bool) "overflow entry costs > 8 references" true
+    (refs_for (List.nth vsids 8) > 8)
+
+let test_second_chance_prefers_unreferenced () =
+  let h = mk () in
+  let vsids = colliding_vsids h 17 in
+  let first16 = List.filteri (fun i _ -> i < 16) vsids in
+  List.iter
+    (fun vsid -> ignore (insert h ~vsid ~page_index:0 : Htab.insert_outcome))
+    first16;
+  (* searches set R; clear one entry's R bit by hand *)
+  List.iter
+    (fun vsid ->
+      ignore (Htab.search h ~vsid ~page_index:0 ~on_ref:no_ref : Pte.t option))
+    first16;
+  let cold = List.nth first16 5 in
+  (match Htab.search h ~vsid:cold ~page_index:0 ~on_ref:no_ref with
+  | Some pte -> pte.Pte.referenced <- false
+  | None -> Alcotest.fail "expected entry");
+  let seventeenth = List.nth vsids 16 in
+  (match
+     Htab.insert ~policy:Htab.Second_chance h ~rng:(rng ())
+       ~vsid:seventeenth ~page_index:0 ~rpn:9 ~wimg:Pte.wimg_default
+       ~protection:Pte.Read_write ~on_ref:no_ref
+   with
+  | Htab.Replaced victim ->
+      Alcotest.(check int) "the unreferenced entry was chosen" cold
+        victim.Pte.vsid
+  | Htab.Filled_empty -> Alcotest.fail "expected eviction");
+  Alcotest.(check bool) "victim gone" true
+    (Htab.search h ~vsid:cold ~page_index:0 ~on_ref:no_ref = None)
+
+let test_second_chance_strips_r_bits () =
+  let h = mk () in
+  let vsids = colliding_vsids h 17 in
+  let first16 = List.filteri (fun i _ -> i < 16) vsids in
+  List.iter
+    (fun vsid -> ignore (insert h ~vsid ~page_index:0 : Htab.insert_outcome))
+    first16;
+  (* every entry is referenced (insert sets R): the fallback must strip
+     the R bits and still evict exactly one entry *)
+  (match
+     Htab.insert ~policy:Htab.Second_chance h ~rng:(rng ())
+       ~vsid:(List.nth vsids 16) ~page_index:0 ~rpn:9 ~wimg:Pte.wimg_default
+       ~protection:Pte.Read_write ~on_ref:no_ref
+   with
+  | Htab.Replaced _ -> ()
+  | Htab.Filled_empty -> Alcotest.fail "expected eviction");
+  Alcotest.(check int) "occupancy still 16" 16 (Htab.occupancy h);
+  (* all survivors but the fresh insert now have R clear *)
+  Alcotest.(check int) "one referenced entry (the new one)" 1
+    (Htab.count_valid h ~f:(fun pte -> pte.Pte.referenced))
+
+let test_zombie_aware_evicts_zombie () =
+  let h = mk () in
+  let vsids = colliding_vsids h 17 in
+  let first16 = List.filteri (fun i _ -> i < 16) vsids in
+  List.iter
+    (fun vsid -> ignore (insert h ~vsid ~page_index:0 : Htab.insert_outcome))
+    first16;
+  let the_zombie = List.nth first16 9 in
+  let is_zombie vsid = vsid = the_zombie in
+  (match
+     Htab.insert ~policy:(Htab.Prefer_zombie is_zombie) h ~rng:(rng ())
+       ~vsid:(List.nth vsids 16) ~page_index:0 ~rpn:9 ~wimg:Pte.wimg_default
+       ~protection:Pte.Read_write ~on_ref:no_ref
+   with
+  | Htab.Replaced victim ->
+      Alcotest.(check int) "the zombie was chosen" the_zombie victim.Pte.vsid
+  | Htab.Filled_empty -> Alcotest.fail "expected eviction");
+  Alcotest.(check bool) "zombie gone" true
+    (Htab.search h ~vsid:the_zombie ~page_index:0 ~on_ref:no_ref = None);
+  (* with no zombies at all it degrades to an arbitrary (but live) evict *)
+  match
+    Htab.insert ~policy:(Htab.Prefer_zombie (fun _ -> false)) h
+      ~rng:(rng ()) ~vsid:0x7FFFF ~page_index:0 ~rpn:1
+      ~wimg:Pte.wimg_default ~protection:Pte.Read_write ~on_ref:no_ref
+  with
+  | Htab.Replaced _ -> ()
+  | Htab.Filled_empty -> Alcotest.fail "expected eviction"
+
+let suite =
+  [ Alcotest.test_case "insert/search" `Quick test_insert_search;
+    Alcotest.test_case "search miss" `Quick test_search_miss;
+    Alcotest.test_case "miss costs 16 references" `Quick
+      test_search_ref_counting;
+    Alcotest.test_case "update in place" `Quick test_update_in_place;
+    Alcotest.test_case "overflow to secondary PTEG" `Quick
+      test_overflow_to_secondary;
+    Alcotest.test_case "eviction when both PTEGs full" `Quick
+      test_eviction_when_both_full;
+    Alcotest.test_case "invalidate page" `Quick test_invalidate_page;
+    Alcotest.test_case "zombie reclaim" `Quick test_reclaim_zombies;
+    Alcotest.test_case "reclaim cursor resumes" `Quick
+      test_reclaim_cursor_resumes;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "pte physical layout" `Quick test_pte_pa_layout;
+    QCheck_alcotest.to_alcotest prop_insert_then_found;
+    QCheck_alcotest.to_alcotest prop_occupancy_bounded;
+    Alcotest.test_case "insert prefers primary" `Quick
+      test_insert_prefers_primary;
+    Alcotest.test_case "primary hit cheaper than overflow" `Quick
+      test_primary_hit_cheaper_than_secondary;
+    QCheck_alcotest.to_alcotest prop_reclaim_never_kills_live;
+    QCheck_alcotest.to_alcotest prop_histogram_sums;
+    Alcotest.test_case "second chance prefers unreferenced" `Quick
+      test_second_chance_prefers_unreferenced;
+    Alcotest.test_case "second chance strips R bits" `Quick
+      test_second_chance_strips_r_bits;
+    Alcotest.test_case "zombie-aware eviction" `Quick
+      test_zombie_aware_evicts_zombie;
+    QCheck_alcotest.to_alcotest prop_search_hit_cost_bounded ]

@@ -1,0 +1,121 @@
+(* Kernel layout invariants: the physical map must be self-consistent or
+   the cache model silently aliases unrelated objects. *)
+open Ppc
+module K = Kernel_sim.Kparams
+
+let regions =
+  [ ("vectors", K.vectors_pa, 0x8000);
+    ("text", K.text_pa, K.text_bytes);
+    ("data", K.data_pa, K.data_bytes);
+    ("htab", K.htab_pa, K.htab_bytes) ]
+
+let overlap (_, a, alen) (_, b, blen) = a < b + blen && b < a + alen
+
+let test_regions_disjoint () =
+  let rec pairs = function
+    | [] -> ()
+    | r :: rest ->
+        List.iter
+          (fun r' ->
+            let (n1, _, _) = r and (n2, _, _) = r' in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s and %s disjoint" n1 n2)
+              false (overlap r r'))
+          rest;
+        pairs rest
+  in
+  pairs regions
+
+let test_regions_within_reserved () =
+  List.iter
+    (fun (name, base, len) ->
+      Alcotest.(check bool)
+        (name ^ " inside the reserved area")
+        true
+        (base >= 0 && base + len <= K.reserved_bytes))
+    regions
+
+let test_htab_capacity () =
+  Alcotest.(check int) "htab bytes = 16384 PTEs x 8 bytes" (16384 * 8)
+    K.htab_bytes
+
+let test_virt_phys_roundtrip () =
+  let pa = K.text_pa + 0x1234 in
+  Alcotest.(check int) "roundtrip" pa
+    (K.kernel_phys_of_virt (K.kernel_virt_of_phys pa));
+  Alcotest.(check int) "virtual base" 0xC0000000 (K.kernel_virt_of_phys 0);
+  Alcotest.(check bool) "kernel virt is a kernel ea" true
+    (Segment.is_kernel_ea (K.kernel_virt_of_phys K.data_pa))
+
+(* The per-object address formulas must stay inside kernel data and not
+   collide across their index ranges. *)
+let test_data_objects_disjoint () =
+  let data_end = K.data_pa + K.data_bytes in
+  let spans =
+    List.concat
+      [ List.init 256 (fun pid ->
+            (K.kernel_phys_of_virt (K.task_struct_ea ~pid), 1024));
+        List.init 256 (fun pid ->
+            (K.kernel_phys_of_virt (K.kstack_ea ~pid), 1024));
+        List.init 64 (fun index ->
+            (K.kernel_phys_of_virt (K.pipe_buf_ea ~index), 4096)) ]
+  in
+  List.iter
+    (fun (base, len) ->
+      Alcotest.(check bool) "object inside kernel data" true
+        (base >= K.data_pa && base + len <= data_end))
+    spans;
+  (* distinct objects never share a byte *)
+  let sorted = List.sort compare spans in
+  let rec adjacent = function
+    | (a, alen) :: ((b, _) :: _ as rest) ->
+        Alcotest.(check bool) "no overlap between kernel objects" true
+          (a + alen <= b);
+        adjacent rest
+    | [ _ ] | [] -> ()
+  in
+  adjacent sorted
+
+let test_code_paths_disjoint () =
+  (* each kernel code path gets its own text region; the longest modeled
+     path footprint is 48 lines = 1.5 KB, well under the 16 KB spacing *)
+  let offs =
+    [ K.off_syscall; K.off_sched; K.off_fault; K.off_pipe; K.off_vfs;
+      K.off_mm; K.off_idle; K.off_exec ]
+  in
+  let sorted = List.sort compare offs in
+  let rec gaps = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "4 KB+ between path entry points" true
+          (b - a >= 0x1000);
+        gaps rest
+    | [ _ ] | [] -> ()
+  in
+  gaps sorted;
+  List.iter
+    (fun off ->
+      Alcotest.(check bool) "path inside kernel text" true
+        (off >= 0 && off + 0x1000 <= K.text_bytes))
+    offs
+
+let test_path_constants_sane () =
+  Alcotest.(check bool) "fast syscall shorter than slow" true
+    (K.syscall_fast < K.syscall_slow);
+  Alcotest.(check bool) "fast switch shorter than slow" true
+    (K.switch_fast < K.switch_slow);
+  Alcotest.(check bool) "reclaim interval positive" true
+    (K.idle_reclaim_interval > 0);
+  Alcotest.(check bool) "reclaim chunk positive" true
+    (K.idle_reclaim_chunk > 0)
+
+let suite =
+  [ Alcotest.test_case "image regions disjoint" `Quick test_regions_disjoint;
+    Alcotest.test_case "image inside reserved RAM" `Quick
+      test_regions_within_reserved;
+    Alcotest.test_case "htab capacity" `Quick test_htab_capacity;
+    Alcotest.test_case "virt/phys roundtrip" `Quick test_virt_phys_roundtrip;
+    Alcotest.test_case "kernel data objects disjoint" `Quick
+      test_data_objects_disjoint;
+    Alcotest.test_case "kernel code paths disjoint" `Quick
+      test_code_paths_disjoint;
+    Alcotest.test_case "path constants sane" `Quick test_path_constants_sane ]

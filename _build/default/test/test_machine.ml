@@ -1,0 +1,70 @@
+(* Machine descriptions and the cost model. *)
+open Ppc
+
+let test_tlb_sizes () =
+  Alcotest.(check int) "603 has 128 TLB entries" 128
+    (Machine.tlb_entries Machine.ppc603_133);
+  Alcotest.(check int) "604 has 256 TLB entries" 256
+    (Machine.tlb_entries Machine.ppc604_185)
+
+let test_reload_styles () =
+  Alcotest.(check bool) "603 is software" true
+    (Machine.ppc603_180.Machine.reload = Machine.Software_trap);
+  Alcotest.(check bool) "604 is hardware" true
+    (Machine.ppc604_200.Machine.reload = Machine.Hardware_search)
+
+let test_common_config () =
+  List.iter
+    (fun m ->
+      Alcotest.(check int) "32 MB RAM" (32 * 1024 * 1024)
+        m.Machine.ram_bytes;
+      Alcotest.(check int) "16384 htab PTEs" 16384 m.Machine.htab_ptes;
+      Alcotest.(check int) "2048 PTEGs" 2048 (Machine.n_ptegs m))
+    Machine.all
+
+let test_cache_sizes () =
+  Alcotest.(check int) "603 16K dcache" (16 * 1024)
+    Machine.ppc603_133.Machine.dcache.Machine.cache_bytes;
+  Alcotest.(check int) "604 32K dcache" (32 * 1024)
+    Machine.ppc604_185.Machine.dcache.Machine.cache_bytes
+
+let test_paper_cost_constants () =
+  Alcotest.(check int) "603 trap overhead is 32 cycles" 32
+    Cost.tlb_miss_trap_cycles;
+  Alcotest.(check int) "604 htab-miss interrupt is 91 cycles" 91
+    Cost.htab_miss_trap_cycles
+
+let test_us_conversion () =
+  Alcotest.(check (float 1e-9)) "133 cycles at 133MHz is 1us" 1.0
+    (Cost.us_of_cycles ~mhz:133 133);
+  Alcotest.(check (float 1e-9)) "zero" 0.0 (Cost.us_of_cycles ~mhz:133 0)
+
+let test_mb_per_s () =
+  (* 1 MB moved in 1e6 cycles at 100 MHz = 10ms -> 100 MB/s *)
+  Alcotest.(check (float 1e-6)) "bandwidth" 100.0
+    (Cost.mb_per_s ~bytes:1_000_000 ~mhz:100 ~cycles:1_000_000);
+  Alcotest.(check (float 1e-9)) "zero cycles" 0.0
+    (Cost.mb_per_s ~bytes:1 ~mhz:100 ~cycles:0)
+
+let test_hw_reload_near_120_cycles () =
+  (* The paper measures hardware reloads at up to 120 cycles with 16
+     memory accesses: overhead + 16 mostly-cached accesses must land in
+     that neighbourhood. *)
+  let worst =
+    Cost.hw_search_overhead_cycles
+    + (2 * Machine.ppc604_185.Machine.mem_latency)
+    + (14 * Cost.cache_hit_cycles)
+  in
+  Alcotest.(check bool) "near 120" true (worst > 60 && worst <= 130)
+
+let suite =
+  [ Alcotest.test_case "TLB sizes" `Quick test_tlb_sizes;
+    Alcotest.test_case "reload styles" `Quick test_reload_styles;
+    Alcotest.test_case "common configuration" `Quick test_common_config;
+    Alcotest.test_case "cache sizes" `Quick test_cache_sizes;
+    Alcotest.test_case "paper cost constants" `Quick
+      test_paper_cost_constants;
+    Alcotest.test_case "us conversion" `Quick test_us_conversion;
+    Alcotest.test_case "MB/s conversion" `Quick test_mb_per_s;
+    Alcotest.test_case "hw reload near 120 cycles" `Quick
+      test_hw_reload_near_120_cycles ]

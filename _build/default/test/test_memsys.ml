@@ -1,0 +1,76 @@
+(* Memory system: cycle charging and counter routing. *)
+open Ppc
+
+let mk () =
+  let machine = Machine.ppc604_185 in
+  let perf = Perf.create () in
+  (Memsys.create ~machine ~perf, perf, machine)
+
+let test_miss_then_hit_costs () =
+  let m, p, machine = mk () in
+  Memsys.data_ref m ~source:Cache.User ~inhibited:false ~write:false 0x5000;
+  Alcotest.(check int) "miss costs memory latency"
+    machine.Machine.mem_latency p.Perf.cycles;
+  Alcotest.(check int) "one miss" 1 p.Perf.dcache_misses;
+  Memsys.data_ref m ~source:Cache.User ~inhibited:false ~write:false 0x5004;
+  Alcotest.(check int) "hit costs one cycle"
+    (machine.Machine.mem_latency + 1)
+    p.Perf.cycles;
+  Alcotest.(check int) "two accesses" 2 p.Perf.dcache_accesses
+
+let test_bypass_costs_latency () =
+  let m, p, machine = mk () in
+  Memsys.data_ref m ~source:Cache.User ~inhibited:true ~write:true 0x5000;
+  Alcotest.(check int) "bypass costs latency" machine.Machine.mem_latency
+    p.Perf.cycles;
+  Alcotest.(check int) "counted as bypass" 1 p.Perf.dcache_bypasses;
+  Alcotest.(check int) "not a miss" 0 p.Perf.dcache_misses
+
+let test_inst_ref () =
+  let m, p, _ = mk () in
+  Memsys.inst_ref m 0xC0010000;
+  Memsys.inst_ref m 0xC0010004;
+  Alcotest.(check int) "icache accesses" 2 p.Perf.icache_accesses;
+  Alcotest.(check int) "one icache miss" 1 p.Perf.icache_misses
+
+let test_instructions () =
+  let m, p, _ = mk () in
+  Memsys.instructions m 100;
+  Alcotest.(check int) "instructions counted" 100 p.Perf.instructions;
+  Alcotest.(check int) "one cycle each" 100 p.Perf.cycles
+
+let test_idle_routing () =
+  let m, p, _ = mk () in
+  Memsys.instructions m 10;
+  Memsys.set_idle m true;
+  Memsys.instructions m 7;
+  Memsys.set_idle m false;
+  Memsys.instructions m 3;
+  Alcotest.(check int) "total cycles" 20 p.Perf.cycles;
+  Alcotest.(check int) "idle cycles" 7 p.Perf.idle_cycles;
+  Alcotest.(check int) "busy" 13 (Perf.busy_cycles p)
+
+let test_copy_lines () =
+  let m, p, _ = mk () in
+  Memsys.copy_lines m ~source:Cache.Kernel ~src:0x10000 ~dst:0x20000
+    ~bytes:4096;
+  (* 128 reads + 128 writes *)
+  Alcotest.(check int) "256 data references" 256 p.Perf.dcache_accesses
+
+let test_separate_caches () =
+  let m, p, _ = mk () in
+  (* same physical line through I and D caches: both must miss once *)
+  Memsys.inst_ref m 0x7000;
+  Memsys.data_ref m ~source:Cache.Kernel ~inhibited:false ~write:false 0x7000;
+  Alcotest.(check int) "icache miss" 1 p.Perf.icache_misses;
+  Alcotest.(check int) "dcache miss" 1 p.Perf.dcache_misses
+
+let suite =
+  [ Alcotest.test_case "miss then hit costs" `Quick test_miss_then_hit_costs;
+    Alcotest.test_case "bypass costs latency" `Quick
+      test_bypass_costs_latency;
+    Alcotest.test_case "instruction fetch" `Quick test_inst_ref;
+    Alcotest.test_case "instruction charging" `Quick test_instructions;
+    Alcotest.test_case "idle routing" `Quick test_idle_routing;
+    Alcotest.test_case "copy lines" `Quick test_copy_lines;
+    Alcotest.test_case "split I/D caches" `Quick test_separate_caches ]

@@ -1,0 +1,57 @@
+(* Performance counters: snapshot, diff, derived sums. *)
+open Ppc
+
+let test_create_zero () =
+  let p = Perf.create () in
+  Alcotest.(check int) "cycles zero" 0 p.Perf.cycles;
+  Alcotest.(check int) "tlb misses zero" 0 (Perf.tlb_misses p)
+
+let test_snapshot_diff () =
+  let p = Perf.create () in
+  p.Perf.cycles <- 100;
+  p.Perf.dtlb_misses <- 5;
+  let before = Perf.snapshot p in
+  p.Perf.cycles <- 250;
+  p.Perf.dtlb_misses <- 12;
+  p.Perf.itlb_misses <- 3;
+  let d = Perf.diff ~after:(Perf.snapshot p) ~before in
+  Alcotest.(check int) "cycle delta" 150 d.Perf.cycles;
+  Alcotest.(check int) "dtlb delta" 7 d.Perf.dtlb_misses;
+  Alcotest.(check int) "combined misses" 10 (Perf.tlb_misses d)
+
+let test_snapshot_is_copy () =
+  let p = Perf.create () in
+  let s = Perf.snapshot p in
+  p.Perf.cycles <- 42;
+  Alcotest.(check int) "snapshot unaffected" 0 s.Perf.cycles
+
+let test_reset () =
+  let p = Perf.create () in
+  p.Perf.cycles <- 9;
+  p.Perf.htab_hits <- 3;
+  p.Perf.prezeroed_hits <- 1;
+  Perf.reset p;
+  Alcotest.(check int) "cycles" 0 p.Perf.cycles;
+  Alcotest.(check int) "htab hits" 0 p.Perf.htab_hits;
+  Alcotest.(check int) "prezeroed" 0 p.Perf.prezeroed_hits
+
+let test_busy_cycles () =
+  let p = Perf.create () in
+  p.Perf.cycles <- 100;
+  p.Perf.idle_cycles <- 30;
+  Alcotest.(check int) "busy" 70 (Perf.busy_cycles p)
+
+let test_pp_no_crash () =
+  let p = Perf.create () in
+  p.Perf.cycles <- 123;
+  let s = Format.asprintf "%a" Perf.pp p in
+  Alcotest.(check bool) "mentions cycles" true
+    (String.length s > 0)
+
+let suite =
+  [ Alcotest.test_case "create zeroed" `Quick test_create_zero;
+    Alcotest.test_case "snapshot/diff" `Quick test_snapshot_diff;
+    Alcotest.test_case "snapshot is a copy" `Quick test_snapshot_is_copy;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "busy cycles" `Quick test_busy_cycles;
+    Alcotest.test_case "pretty printer" `Quick test_pp_no_crash ]

@@ -1,0 +1,107 @@
+(* Physical frame allocator. *)
+module Physmem = Kernel_sim.Physmem
+
+let mb = 1024 * 1024
+
+let mk () = Physmem.create ~ram_bytes:(1 * mb) ~reserved_bytes:(64 * 1024)
+
+let test_geometry () =
+  let p = mk () in
+  Alcotest.(check int) "total frames" 256 (Physmem.total_frames p);
+  Alcotest.(check int) "reserved frames" 16 (Physmem.reserved_frames p);
+  Alcotest.(check int) "free frames" 240 (Physmem.free_frames p)
+
+let test_alloc_free () =
+  let p = mk () in
+  (match Physmem.alloc p with
+  | Some rpn ->
+      Alcotest.(check bool) "not reserved" true (rpn >= 16);
+      Alcotest.(check bool) "allocated" true (Physmem.is_allocated p rpn);
+      Physmem.free p rpn;
+      Alcotest.(check bool) "freed" false (Physmem.is_allocated p rpn)
+  | None -> Alcotest.fail "allocation failed");
+  Alcotest.(check int) "back to full" 240 (Physmem.free_frames p)
+
+let test_lifo_reuse () =
+  let p = mk () in
+  let a = Option.get (Physmem.alloc p) in
+  Physmem.free p a;
+  let b = Option.get (Physmem.alloc p) in
+  Alcotest.(check int) "freed frame reused first" a b
+
+let test_exhaustion () =
+  let p = mk () in
+  for _ = 1 to 240 do
+    match Physmem.alloc p with
+    | Some _ -> ()
+    | None -> Alcotest.fail "exhausted early"
+  done;
+  Alcotest.(check (option int)) "exhausted" None (Physmem.alloc p)
+
+let test_errors () =
+  let p = mk () in
+  let raises f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  Alcotest.(check bool) "free reserved" true
+    (raises (fun () -> Physmem.free p 0));
+  Alcotest.(check bool) "free out of range" true
+    (raises (fun () -> Physmem.free p 100000));
+  let rpn = Option.get (Physmem.alloc p) in
+  Physmem.free p rpn;
+  Alcotest.(check bool) "double free" true
+    (raises (fun () -> Physmem.free p rpn))
+
+let test_reserved_marked () =
+  let p = mk () in
+  Alcotest.(check bool) "reserved is allocated" true
+    (Physmem.is_allocated p 0);
+  Alcotest.(check bool) "out of range is not" false
+    (Physmem.is_allocated p (-1))
+
+let prop_no_double_allocation =
+  QCheck.Test.make ~name:"allocator never hands out a frame twice" ~count:30
+    QCheck.(list_of_size (Gen.return 200) bool)
+    (fun ops ->
+      let p = mk () in
+      let held = Hashtbl.create 64 in
+      let ok = ref true in
+      List.iter
+        (fun alloc_op ->
+          if alloc_op then (
+            match Physmem.alloc p with
+            | Some rpn ->
+                if Hashtbl.mem held rpn then ok := false;
+                Hashtbl.replace held rpn ()
+            | None -> ())
+          else
+            match Hashtbl.fold (fun k () _ -> Some k) held None with
+            | Some rpn ->
+                Hashtbl.remove held rpn;
+                Physmem.free p rpn
+            | None -> ())
+        ops;
+      !ok)
+
+let prop_conservation =
+  QCheck.Test.make ~name:"free + held = initial free" ~count:30
+    QCheck.(int_bound 100)
+    (fun n ->
+      let p = mk () in
+      let held = ref [] in
+      for _ = 1 to n do
+        match Physmem.alloc p with
+        | Some rpn -> held := rpn :: !held
+        | None -> ()
+      done;
+      Physmem.free_frames p + List.length !held = 240)
+
+let suite =
+  [ Alcotest.test_case "geometry" `Quick test_geometry;
+    Alcotest.test_case "alloc/free" `Quick test_alloc_free;
+    Alcotest.test_case "LIFO reuse" `Quick test_lifo_reuse;
+    Alcotest.test_case "exhaustion" `Quick test_exhaustion;
+    Alcotest.test_case "error cases" `Quick test_errors;
+    Alcotest.test_case "reserved accounting" `Quick test_reserved_marked;
+    QCheck_alcotest.to_alcotest prop_no_double_allocation;
+    QCheck_alcotest.to_alcotest prop_conservation ]

@@ -1,0 +1,95 @@
+(* Pipes and the page-cache file layer. *)
+module Pipe = Kernel_sim.Pipe
+module Vfs = Kernel_sim.Vfs
+module Physmem = Kernel_sim.Physmem
+
+let test_pipe_basics () =
+  let p = Pipe.create ~index:0 in
+  Alcotest.(check int) "empty" 0 (Pipe.level p);
+  Alcotest.(check int) "capacity space" Pipe.capacity (Pipe.space p);
+  Alcotest.(check int) "write accepted" 100 (Pipe.write p ~bytes:100);
+  Alcotest.(check int) "level" 100 (Pipe.level p);
+  Alcotest.(check int) "read delivered" 100 (Pipe.read p ~bytes:200);
+  Alcotest.(check int) "drained" 0 (Pipe.level p)
+
+let test_pipe_capacity_cap () =
+  let p = Pipe.create ~index:1 in
+  Alcotest.(check int) "first fill" Pipe.capacity
+    (Pipe.write p ~bytes:(2 * Pipe.capacity));
+  Alcotest.(check int) "full pipe accepts nothing" 0 (Pipe.write p ~bytes:1);
+  ignore (Pipe.read p ~bytes:100 : int);
+  Alcotest.(check int) "space reopens" 100 (Pipe.write p ~bytes:500)
+
+let test_pipe_empty_read () =
+  let p = Pipe.create ~index:2 in
+  Alcotest.(check int) "empty read" 0 (Pipe.read p ~bytes:10)
+
+let prop_pipe_conservation =
+  QCheck.Test.make ~name:"pipe conserves bytes" ~count:100
+    QCheck.(list (pair bool (int_bound 6000)))
+    (fun ops ->
+      let p = Pipe.create ~index:3 in
+      List.iter
+        (fun (is_write, n) ->
+          if is_write then ignore (Pipe.write p ~bytes:n : int)
+          else ignore (Pipe.read p ~bytes:n : int))
+        ops;
+      Pipe.total_written p = Pipe.total_read p + Pipe.level p
+      && Pipe.level p >= 0
+      && Pipe.level p <= Pipe.capacity)
+
+let mk_vfs () =
+  let pm = Physmem.create ~ram_bytes:(1024 * 1024) ~reserved_bytes:0 in
+  (Vfs.create ~physmem:pm, pm)
+
+let test_vfs_create_lookup () =
+  let vfs, _ = mk_vfs () in
+  let f = Vfs.create_file vfs ~name:"a" ~pages:10 in
+  Alcotest.(check int) "pages" 10 (Vfs.file_pages f);
+  Alcotest.(check string) "name" "a" (Vfs.name f);
+  Alcotest.(check bool) "lookup finds" true (Vfs.lookup vfs "a" <> None);
+  Alcotest.(check bool) "missing" true (Vfs.lookup vfs "b" = None);
+  match Vfs.create_file vfs ~name:"a" ~pages:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate name must fail"
+
+let test_vfs_fault_in () =
+  let vfs, _ = mk_vfs () in
+  let f = Vfs.create_file vfs ~name:"a" ~pages:4 in
+  Alcotest.(check int) "cold file" 0 (Vfs.resident_pages f);
+  (match Vfs.page_frame vfs f ~page:2 with
+  | Some (_, cold) -> Alcotest.(check bool) "first access cold" true cold
+  | None -> Alcotest.fail "expected frame");
+  (match Vfs.page_frame vfs f ~page:2 with
+  | Some (rpn, cold) ->
+      Alcotest.(check bool) "second access warm" false cold;
+      Alcotest.(check bool) "stable frame" true (rpn >= 0)
+  | None -> Alcotest.fail "expected frame");
+  Alcotest.(check int) "one resident" 1 (Vfs.resident_pages f);
+  Alcotest.(check bool) "out of range" true
+    (Vfs.page_frame vfs f ~page:4 = None)
+
+let test_vfs_evict () =
+  let vfs, pm = mk_vfs () in
+  let before = Physmem.free_frames pm in
+  let f = Vfs.create_file vfs ~name:"a" ~pages:4 in
+  for i = 0 to 3 do
+    ignore (Vfs.page_frame vfs f ~page:i : (int * bool) option)
+  done;
+  Alcotest.(check int) "four frames used" (before - 4)
+    (Physmem.free_frames pm);
+  Vfs.evict vfs f;
+  Alcotest.(check int) "frames returned" before (Physmem.free_frames pm);
+  Alcotest.(check int) "cold again" 0 (Vfs.resident_pages f);
+  match Vfs.page_frame vfs f ~page:0 with
+  | Some (_, cold) -> Alcotest.(check bool) "re-faults" true cold
+  | None -> Alcotest.fail "expected frame"
+
+let suite =
+  [ Alcotest.test_case "pipe basics" `Quick test_pipe_basics;
+    Alcotest.test_case "pipe capacity" `Quick test_pipe_capacity_cap;
+    Alcotest.test_case "pipe empty read" `Quick test_pipe_empty_read;
+    QCheck_alcotest.to_alcotest prop_pipe_conservation;
+    Alcotest.test_case "vfs create/lookup" `Quick test_vfs_create_lookup;
+    Alcotest.test_case "vfs fault in" `Quick test_vfs_fault_in;
+    Alcotest.test_case "vfs evict" `Quick test_vfs_evict ]

@@ -1,0 +1,106 @@
+(* Reproduction regression bands: the headline paper claims, asserted as
+   tolerance intervals so a refactor that silently breaks a mechanism
+   (rather than a unit) fails the suite.  All marked Slow — each boots
+   and runs real benchmarks. *)
+open Ppc
+module Kernel = Kernel_sim.Kernel
+module Policy = Kernel_sim.Policy
+module Config = Mmu_tricks.Config
+module Metrics = Mmu_tricks.Metrics
+module Lmbench = Workloads.Lmbench
+module Kbuild = Workloads.Kbuild
+
+let in_band name lo v hi =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.2f in [%.2f, %.2f]" name v lo hi)
+    true
+    (v >= lo && v <= hi)
+
+(* Table 3 anchors: the calibrated cells must stay put. *)
+let test_null_syscall_anchors () =
+  let run policy =
+    Lmbench.null_syscall_us
+      (Kernel.boot ~machine:Machine.ppc604_133 ~policy ~seed:42 ())
+  in
+  in_band "optimized null (paper 2us)" 1.5 (run Policy.optimized) 2.5;
+  in_band "baseline null (paper 18us)" 15.0 (run Policy.baseline) 21.0
+
+(* T2: the ~80x lazy-flush mmap speedup (we accept 40-100x). *)
+let test_mmap_speedup_band () =
+  let lat policy =
+    Lmbench.mmap_latency_us
+      (Kernel.boot ~machine:Machine.ppc603_133 ~policy ~seed:42 ())
+  in
+  let precise = lat Config.optimized_precise_flush in
+  let lazy_ = lat Policy.optimized in
+  in_band "mmap speedup (paper 79x)" 40.0 (precise /. lazy_) 110.0;
+  in_band "lazy mmap latency (paper 41us)" 20.0 lazy_ 60.0
+
+(* E1: BAT mapping cuts TLB misses by ~10% on the compile. *)
+let test_bat_tlb_reduction_band () =
+  let params = { Kbuild.default_params with Kbuild.jobs = 12 } in
+  let misses policy =
+    Perf.tlb_misses
+      (Kbuild.measure ~machine:Machine.ppc604_185 ~policy ~params ~seed:42 ())
+        .Kbuild.perf
+  in
+  let base = float_of_int (misses Policy.baseline) in
+  let bat = float_of_int (misses Config.baseline_with_bat) in
+  in_band "TLB miss reduction (paper -10%)" 4.0
+    (100.0 *. (base -. bat) /. base)
+    16.0
+
+(* E6: without reclaim the evict ratio blows up; with it, collapses. *)
+let test_reclaim_evict_ratio_band () =
+  let warm = { Kbuild.default_params with Kbuild.jobs = 16 } in
+  let measured = { Kbuild.default_params with Kbuild.jobs = 12 } in
+  let ratio policy =
+    let k = Kernel.boot ~machine:Machine.ppc604_185 ~policy ~seed:42 () in
+    Kbuild.run k ~params:warm;
+    let p = Workloads.Measure.perf k (fun () -> Kbuild.run k ~params:measured) in
+    Metrics.evict_ratio p
+  in
+  let off = ratio Config.optimized_no_reclaim in
+  let on_ = ratio Policy.optimized in
+  in_band "evict ratio without reclaim" 0.12 off 1.0;
+  in_band "evict ratio with reclaim" 0.0 on_ 0.10;
+  Alcotest.(check bool) "reclaim wins decisively" true (off > 3.0 *. on_)
+
+(* E11: the frame-buffer BAT removes most fb TLB traffic. *)
+let test_fb_bat_band () =
+  let misses policy =
+    float_of_int
+      (Perf.tlb_misses
+         (Workloads.Xserver.measure ~machine:Machine.ppc604_185 ~policy
+            ~seed:42 ())
+           .Workloads.Xserver.perf)
+  in
+  let off = misses Policy.optimized in
+  let on_ = misses Config.optimized_fb_bat in
+  in_band "fb TLB miss reduction" 60.0 (100.0 *. (off -. on_) /. off) 99.0
+
+(* T1: the no-htab 603/180 stays within 15% of the 604/185. *)
+let test_603_keeps_pace_band () =
+  let s603 =
+    Lmbench.pipe_latency_us
+      (Kernel.boot ~machine:Machine.ppc603_180
+         ~policy:Config.optimized_no_htab ~seed:42 ())
+  in
+  let s604 =
+    Lmbench.pipe_latency_us
+      (Kernel.boot ~machine:Machine.ppc604_185 ~policy:Policy.optimized
+         ~seed:42 ())
+  in
+  in_band "603-no-htab / 604 pipe latency" 0.8 (s603 /. s604) 1.25
+
+let suite =
+  [ Alcotest.test_case "null-syscall anchors (T3)" `Slow
+      test_null_syscall_anchors;
+    Alcotest.test_case "mmap speedup band (T2)" `Slow test_mmap_speedup_band;
+    Alcotest.test_case "BAT TLB reduction band (E1)" `Slow
+      test_bat_tlb_reduction_band;
+    Alcotest.test_case "reclaim evict-ratio band (E6)" `Slow
+      test_reclaim_evict_ratio_band;
+    Alcotest.test_case "fb BAT band (E11)" `Slow test_fb_bat_band;
+    Alcotest.test_case "603 keeps pace band (T1)" `Slow
+      test_603_keeps_pace_band ]

@@ -1,0 +1,81 @@
+(* Deterministic PRNG tests. *)
+open Ppc
+
+let test_determinism () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_seeds_differ () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.next a = Rng.next b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let test_copy_independent () =
+  let a = Rng.create ~seed:3 in
+  ignore (Rng.next a : int);
+  let b = Rng.copy a in
+  let xa = Rng.next a in
+  let xb = Rng.next b in
+  Alcotest.(check int) "copy continues identically" xa xb;
+  ignore (Rng.next a : int);
+  (* advancing a does not advance b *)
+  let xa2 = Rng.next a and xb2 = Rng.next b in
+  Alcotest.(check bool) "independent afterwards" true (xa2 <> xb2 || xa2 = xb2)
+
+let test_int_bounds () =
+  let r = Rng.create ~seed:11 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_float_bounds () =
+  let r = Rng.create ~seed:13 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_next_nonnegative () =
+  let r = Rng.create ~seed:17 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "non-negative" true (Rng.next r >= 0)
+  done
+
+let test_shuffle_permutation () =
+  let r = Rng.create ~seed:5 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation"
+    (Array.init 50 (fun i -> i))
+    sorted
+
+let test_geometric () =
+  let r = Rng.create ~seed:23 in
+  let total = ref 0 in
+  let n = 2000 in
+  for _ = 1 to n do
+    let v = Rng.geometric r ~p:0.5 in
+    Alcotest.(check bool) "non-negative" true (v >= 0);
+    total := !total + v
+  done;
+  (* mean of geometric(0.5) counting failures is 1 *)
+  let mean = float_of_int !total /. float_of_int n in
+  Alcotest.(check bool) "mean near 1" true (mean > 0.8 && mean < 1.2)
+
+let suite =
+  [ Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+    Alcotest.test_case "copy is independent" `Quick test_copy_independent;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "next non-negative" `Quick test_next_nonnegative;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutation;
+    Alcotest.test_case "geometric distribution" `Quick test_geometric ]

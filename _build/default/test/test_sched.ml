@@ -1,0 +1,212 @@
+(* The cooperative scheduler and the parallel-make workload. *)
+open Ppc
+module Kernel = Kernel_sim.Kernel
+module Policy = Kernel_sim.Policy
+module Sched = Kernel_sim.Sched
+module Mm = Kernel_sim.Mm
+module Pm = Workloads.Parmake
+
+let boot () =
+  Kernel.boot ~machine:Machine.ppc604_185 ~policy:Policy.optimized ~seed:7 ()
+
+let data_base = Mm.user_text_base + (16 lsl Addr.page_shift)
+
+let test_round_robin_interleaves () =
+  let k = boot () in
+  let sched = Sched.create k in
+  let order = ref [] in
+  let counted name limit =
+    let n = ref 0 in
+    fun k ->
+      order := name :: !order;
+      Kernel.user_run k ~instrs:100;
+      incr n;
+      if !n >= limit then begin
+        Kernel.sys_exit k;
+        Sched.Done
+      end
+      else Sched.Yield
+  in
+  Sched.add sched (Kernel.spawn k ()) (counted "a" 3);
+  Sched.add sched (Kernel.spawn k ()) (counted "b" 3);
+  Sched.run sched;
+  Alcotest.(check (list string)) "strict alternation"
+    [ "a"; "b"; "a"; "b"; "a"; "b" ]
+    (List.rev !order);
+  Alcotest.(check int) "all done" 0 (Sched.live sched)
+
+let test_sleep_wakes_on_time () =
+  let k = boot () in
+  let sched = Sched.create k in
+  let woke_at = ref 0 in
+  let slept_at = ref 0 in
+  let state = ref `Start in
+  Sched.add sched (Kernel.spawn k ()) (fun k ->
+      match !state with
+      | `Start ->
+          slept_at := Kernel.cycles k;
+          state := `Slept;
+          Sched.Sleep 50_000
+      | `Slept ->
+          woke_at := Kernel.cycles k;
+          Kernel.sys_exit k;
+          Sched.Done);
+  Sched.run sched;
+  Alcotest.(check bool) "woke after the deadline" true
+    (!woke_at - !slept_at >= 50_000);
+  Alcotest.(check bool) "did not oversleep wildly" true
+    (!woke_at - !slept_at < 80_000)
+
+let test_sleep_runs_idle_task () =
+  let k = boot () in
+  let sched = Sched.create k in
+  let state = ref `Start in
+  Sched.add sched (Kernel.spawn k ()) (fun k ->
+      match !state with
+      | `Start ->
+          state := `Slept;
+          Sched.Sleep 40_000
+      | `Slept ->
+          Kernel.sys_exit k;
+          Sched.Done);
+  let idle0 = (Kernel.perf k).Perf.idle_cycles in
+  Sched.run sched;
+  Alcotest.(check bool) "sleeping alone means idle time" true
+    ((Kernel.perf k).Perf.idle_cycles - idle0 >= 40_000)
+
+let test_sleep_overlaps_with_runnable () =
+  let k = boot () in
+  let sched = Sched.create k in
+  let sleeper_state = ref `Start in
+  Sched.add sched (Kernel.spawn k ()) (fun k ->
+      match !sleeper_state with
+      | `Start ->
+          sleeper_state := `Slept;
+          Sched.Sleep 30_000
+      | `Slept ->
+          Kernel.sys_exit k;
+          Sched.Done);
+  let rounds = ref 0 in
+  Sched.add sched (Kernel.spawn k ()) (fun k ->
+      Kernel.user_run k ~instrs:2_000;
+      Kernel.touch k Mmu.Store data_base;
+      incr rounds;
+      if !rounds >= 40 then begin
+        Kernel.sys_exit k;
+        Sched.Done
+      end
+      else Sched.Yield);
+  let idle0 = (Kernel.perf k).Perf.idle_cycles in
+  Sched.run sched;
+  (* the worker filled the sleeper's gap: little to no idle time *)
+  Alcotest.(check bool) "compute hides the sleep" true
+    ((Kernel.perf k).Perf.idle_cycles - idle0 < 10_000)
+
+let test_no_redundant_switches () =
+  (* a single runnable process must not pay a context switch per slice *)
+  let k = boot () in
+  let sched = Sched.create k in
+  let n = ref 0 in
+  Sched.add sched (Kernel.spawn k ()) (fun k ->
+      Kernel.user_run k ~instrs:100;
+      incr n;
+      if !n >= 20 then begin
+        Kernel.sys_exit k;
+        Sched.Done
+      end
+      else Sched.Yield);
+  let sw0 = (Kernel.perf k).Perf.context_switches in
+  Sched.run sched;
+  Alcotest.(check bool) "one switch for twenty slices" true
+    ((Kernel.perf k).Perf.context_switches - sw0 <= 2)
+
+let test_timer_ticks_fire () =
+  let k = boot () in
+  let sched = Sched.create k in
+  let state = ref `Start in
+  Sched.add sched (Kernel.spawn k ()) (fun k ->
+      match !state with
+      | `Start ->
+          state := `Slept;
+          (* sleep long enough for several timer periods *)
+          Sched.Sleep (3 * Kernel_sim.Kparams.timer_tick_cycles)
+      | `Slept ->
+          Kernel.sys_exit k;
+          Sched.Done);
+  let sys0 = (Kernel.perf k).Perf.instructions in
+  Sched.run sched;
+  (* each tick charges at least tick_fast instructions *)
+  Alcotest.(check bool) "ticks charged work" true
+    ((Kernel.perf k).Perf.instructions - sys0
+    >= 3 * Kernel_sim.Kparams.tick_fast)
+
+let test_timer_tick_direct () =
+  let k = boot () in
+  let t = Kernel.spawn k () in
+  Kernel.switch_to k t;
+  let c0 = Kernel.cycles k in
+  Kernel.timer_tick k;
+  Alcotest.(check bool) "tick costs cycles" true (Kernel.cycles k > c0);
+  (* slow path costs more *)
+  let k2 =
+    Kernel.boot ~machine:Machine.ppc604_185 ~policy:Policy.baseline ~seed:7 ()
+  in
+  let t2 = Kernel.spawn k2 () in
+  Kernel.switch_to k2 t2;
+  let c2 = Kernel.cycles k2 in
+  Kernel.timer_tick k2;
+  Alcotest.(check bool) "slow tick costs more" true
+    (Kernel.cycles k2 - c2 > Kernel.cycles k - c0)
+
+let small_pm =
+  { Pm.jobs = 3;
+    jobserver = 2;
+    text_pages = 16;
+    data_pages = 32;
+    source_pages = 8;
+    compute_rounds = 3 }
+
+let test_parmake_completes_and_cleans_up () =
+  let k = boot () in
+  Pm.run k ~params:small_pm;
+  Alcotest.(check int) "all jobs exited" 0 (List.length (Kernel.tasks k));
+  Alcotest.(check bool) "file reads happened" true
+    ((Kernel.perf k).Perf.syscalls > 0)
+
+let test_parmake_overlap_beats_serial () =
+  let wall jobserver =
+    (Pm.measure ~machine:Machine.ppc604_185 ~policy:Policy.optimized
+       ~params:{ small_pm with Pm.jobserver; jobs = 4 } ())
+      .Pm.wall_us
+  in
+  let j1 = wall 1 and j2 = wall 2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "-j2 (%.0fus) beats -j1 (%.0fus)" j2 j1)
+    true (j2 < j1)
+
+let test_parmake_idle_shrinks_with_width () =
+  let idle jobserver =
+    (Pm.measure ~machine:Machine.ppc604_185 ~policy:Policy.optimized
+       ~params:{ small_pm with Pm.jobserver; jobs = 4 } ())
+      .Pm.idle_fraction
+  in
+  Alcotest.(check bool) "overlap cuts idle share" true (idle 4 <= idle 1)
+
+let suite =
+  [ Alcotest.test_case "round robin interleaves" `Quick
+      test_round_robin_interleaves;
+    Alcotest.test_case "sleep wakes on time" `Quick test_sleep_wakes_on_time;
+    Alcotest.test_case "lone sleeper runs idle task" `Quick
+      test_sleep_runs_idle_task;
+    Alcotest.test_case "sleep overlaps with runnable work" `Quick
+      test_sleep_overlaps_with_runnable;
+    Alcotest.test_case "no redundant switches" `Quick
+      test_no_redundant_switches;
+    Alcotest.test_case "timer ticks fire" `Quick test_timer_ticks_fire;
+    Alcotest.test_case "timer tick path costs" `Quick test_timer_tick_direct;
+    Alcotest.test_case "parmake completes and cleans up" `Quick
+      test_parmake_completes_and_cleans_up;
+    Alcotest.test_case "parmake overlap beats serial" `Slow
+      test_parmake_overlap_beats_serial;
+    Alcotest.test_case "parmake idle shrinks with width" `Slow
+      test_parmake_idle_shrinks_with_width ]

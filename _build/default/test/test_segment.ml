@@ -1,0 +1,45 @@
+(* Segment registers. *)
+open Ppc
+
+let test_get_set () =
+  let s = Segment.create () in
+  Segment.set s 5 0x123456;
+  Alcotest.(check int) "set/get" 0x123456 (Segment.get s 5);
+  Segment.set s 5 0x1FFFFFF;
+  Alcotest.(check int) "masked to 24 bits" 0xFFFFFF (Segment.get s 5)
+
+let test_vsid_for () =
+  let s = Segment.create () in
+  Segment.set s 0x7 0x42;
+  Alcotest.(check int) "selects by top nibble" 0x42
+    (Segment.vsid_for s 0x7ABCDEF0)
+
+let test_load_user_kernel () =
+  let s = Segment.create () in
+  Segment.load_user s (fun i -> 100 + i);
+  Segment.load_kernel s (fun i -> 200 + i);
+  for i = 0 to 11 do
+    Alcotest.(check int) "user segment" (100 + i) (Segment.get s i)
+  done;
+  for i = 12 to 15 do
+    Alcotest.(check int) "kernel segment" (200 + i) (Segment.get s i)
+  done;
+  (* user load must not clobber kernel segments *)
+  Segment.load_user s (fun i -> 300 + i);
+  Alcotest.(check int) "kernel survives user load" 212 (Segment.get s 12)
+
+let test_kernel_predicates () =
+  Alcotest.(check bool) "segment 12 is kernel" true
+    (Segment.is_kernel_segment 12);
+  Alcotest.(check bool) "segment 11 is user" false
+    (Segment.is_kernel_segment 11);
+  Alcotest.(check bool) "0xC0000000 is kernel" true
+    (Segment.is_kernel_ea 0xC0000000);
+  Alcotest.(check bool) "0xBFFFFFFF is user" false
+    (Segment.is_kernel_ea 0xBFFFFFFF)
+
+let suite =
+  [ Alcotest.test_case "get/set masking" `Quick test_get_set;
+    Alcotest.test_case "vsid_for" `Quick test_vsid_for;
+    Alcotest.test_case "user/kernel loads" `Quick test_load_user_kernel;
+    Alcotest.test_case "kernel predicates" `Quick test_kernel_predicates ]

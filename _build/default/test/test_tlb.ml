@@ -1,0 +1,116 @@
+(* TLB structure: lookup, LRU, invalidation, capacity. *)
+open Ppc
+
+let entry ?(rpn = 0x100) vpn =
+  { Tlb.vpn; rpn; inhibited = false; writable = true }
+
+let test_insert_lookup () =
+  let t = Tlb.create ~sets:32 ~ways:2 in
+  Tlb.insert t (entry 0x1234);
+  (match Tlb.lookup t 0x1234 with
+  | Some e -> Alcotest.(check int) "rpn" 0x100 e.Tlb.rpn
+  | None -> Alcotest.fail "expected hit");
+  Alcotest.(check bool) "other vpn misses" true (Tlb.lookup t 0x1235 = None)
+
+let test_update_in_place () =
+  let t = Tlb.create ~sets:32 ~ways:2 in
+  Tlb.insert t (entry ~rpn:1 0x40);
+  Tlb.insert t (entry ~rpn:2 0x40);
+  Alcotest.(check int) "one entry" 1 (Tlb.occupancy t);
+  match Tlb.lookup t 0x40 with
+  | Some e -> Alcotest.(check int) "latest rpn" 2 e.Tlb.rpn
+  | None -> Alcotest.fail "expected hit"
+
+let test_lru_replacement () =
+  let t = Tlb.create ~sets:1 ~ways:2 in
+  Tlb.insert t (entry ~rpn:1 0x10);
+  Tlb.insert t (entry ~rpn:2 0x20);
+  (* touch 0x10 so 0x20 is LRU *)
+  ignore (Tlb.lookup t 0x10 : Tlb.entry option);
+  Tlb.insert t (entry ~rpn:3 0x30);
+  Alcotest.(check bool) "0x10 survives" true (Tlb.lookup t 0x10 <> None);
+  Alcotest.(check bool) "0x20 evicted" true (Tlb.lookup t 0x20 = None);
+  Alcotest.(check bool) "0x30 present" true (Tlb.lookup t 0x30 <> None)
+
+let test_invalidate_page () =
+  let t = Tlb.create ~sets:32 ~ways:2 in
+  Tlb.insert t (entry 0x77);
+  Tlb.invalidate_page t 0x77;
+  Alcotest.(check bool) "gone" true (Tlb.lookup t 0x77 = None);
+  (* invalidating an absent page is a no-op *)
+  Tlb.invalidate_page t 0x78
+
+let test_invalidate_all () =
+  let t = Tlb.create ~sets:32 ~ways:2 in
+  for i = 0 to 19 do
+    Tlb.insert t (entry i)
+  done;
+  Alcotest.(check int) "filled" 20 (Tlb.occupancy t);
+  Tlb.invalidate_all t;
+  Alcotest.(check int) "flushed" 0 (Tlb.occupancy t)
+
+let test_peek_no_lru_effect () =
+  let t = Tlb.create ~sets:1 ~ways:2 in
+  Tlb.insert t (entry ~rpn:1 0x10);
+  Tlb.insert t (entry ~rpn:2 0x20);
+  (* peek at 0x10: must NOT refresh it, so it stays LRU and is evicted *)
+  ignore (Tlb.peek t 0x10 : Tlb.entry option);
+  Tlb.insert t (entry ~rpn:3 0x30);
+  Alcotest.(check bool) "peeked entry evicted (LRU untouched)" true
+    (Tlb.lookup t 0x10 = None)
+
+let test_count_matching () =
+  let t = Tlb.create ~sets:32 ~ways:2 in
+  Tlb.insert t (entry ((0xFF lsl 16) lor 1));
+  Tlb.insert t (entry ((0xFF lsl 16) lor 2));
+  Tlb.insert t (entry ((0x01 lsl 16) lor 3));
+  Alcotest.(check int) "matching vsid 0xFF" 2
+    (Tlb.count_matching t (fun vpn -> Addr.vsid_of_vpn vpn = 0xFF))
+
+let test_geometry_validation () =
+  let raises f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  Alcotest.(check bool) "sets must be power of two" true
+    (raises (fun () -> Tlb.create ~sets:33 ~ways:2));
+  Alcotest.(check bool) "ways positive" true
+    (raises (fun () -> Tlb.create ~sets:32 ~ways:0))
+
+let prop_capacity_never_exceeded =
+  QCheck.Test.make ~name:"occupancy never exceeds capacity" ~count:100
+    QCheck.(list_of_size (Gen.return 300) (int_bound 0xFFFFF))
+    (fun vpns ->
+      let t = Tlb.create ~sets:8 ~ways:2 in
+      List.iter (fun vpn -> Tlb.insert t (entry vpn)) vpns;
+      Tlb.occupancy t <= Tlb.capacity t)
+
+let prop_insert_then_lookup =
+  QCheck.Test.make ~name:"freshly inserted entry is found" ~count:500
+    QCheck.(int_bound 0xFFFFFF)
+    (fun vpn ->
+      let t = Tlb.create ~sets:32 ~ways:2 in
+      Tlb.insert t (entry vpn);
+      Tlb.lookup t vpn <> None)
+
+let prop_iter_consistent =
+  QCheck.Test.make ~name:"iter visits exactly occupancy entries" ~count:100
+    QCheck.(list_of_size (Gen.return 100) (int_bound 0xFFFF))
+    (fun vpns ->
+      let t = Tlb.create ~sets:16 ~ways:2 in
+      List.iter (fun vpn -> Tlb.insert t (entry vpn)) vpns;
+      let n = ref 0 in
+      Tlb.iter t (fun _ -> incr n);
+      !n = Tlb.occupancy t)
+
+let suite =
+  [ Alcotest.test_case "insert/lookup" `Quick test_insert_lookup;
+    Alcotest.test_case "update in place" `Quick test_update_in_place;
+    Alcotest.test_case "LRU replacement" `Quick test_lru_replacement;
+    Alcotest.test_case "invalidate page" `Quick test_invalidate_page;
+    Alcotest.test_case "invalidate all" `Quick test_invalidate_all;
+    Alcotest.test_case "peek has no LRU effect" `Quick test_peek_no_lru_effect;
+    Alcotest.test_case "count matching" `Quick test_count_matching;
+    Alcotest.test_case "geometry validation" `Quick test_geometry_validation;
+    QCheck_alcotest.to_alcotest prop_capacity_never_exceeded;
+    QCheck_alcotest.to_alcotest prop_insert_then_lookup;
+    QCheck_alcotest.to_alcotest prop_iter_consistent ]

@@ -1,0 +1,47 @@
+(* The §5.2 tuning methodology tool. *)
+module Tuning = Mmu_tricks.Tuning
+module Experiments = Mmu_tricks.Experiments
+
+(* small, fast configuration for tests *)
+let score m = Tuning.score_multiplier ~procs:8 ~pages:128 ~seed:3 m
+
+let test_naive_has_hot_spots () =
+  let s = score 1 in
+  Alcotest.(check bool) "multiplier 1 leaves hot spots" true
+    (s.Tuning.full_ptegs > 0);
+  Alcotest.(check int) "reports its multiplier" 1 s.Tuning.multiplier
+
+let test_tuned_is_clean () =
+  let s = score Kernel_sim.Vsid_alloc.scatter_multiplier in
+  Alcotest.(check int) "897 has no hot spots" 0 s.Tuning.full_ptegs;
+  Alcotest.(check int) "and no evictions" 0 s.Tuning.evictions
+
+let test_sweep_ranks_tuned_first () =
+  let scores = Tuning.sweep ~procs:8 ~pages:128 ~seed:3 [ 1; 897 ] in
+  match scores with
+  | best :: _ ->
+      Alcotest.(check int) "897 ranks first" 897 best.Tuning.multiplier
+  | [] -> Alcotest.fail "expected scores"
+
+let test_sweep_preserves_candidates () =
+  let candidates = [ 1; 16; 897 ] in
+  let scores = Tuning.sweep ~procs:8 ~pages:128 ~seed:3 candidates in
+  Alcotest.(check (list int)) "same multipliers, reordered"
+    (List.sort compare candidates)
+    (List.sort compare (List.map (fun s -> s.Tuning.multiplier) scores))
+
+let test_table_rendering () =
+  let scores = Tuning.sweep ~procs:8 ~pages:128 ~seed:3 [ 1; 897 ] in
+  let t = Tuning.to_table scores in
+  Alcotest.(check int) "two rows" 2 (List.length t.Experiments.rows);
+  Alcotest.(check int) "five columns" 5 (List.length t.Experiments.header)
+
+let suite =
+  [ Alcotest.test_case "naive multiplier has hot spots" `Quick
+      test_naive_has_hot_spots;
+    Alcotest.test_case "tuned multiplier is clean" `Quick test_tuned_is_clean;
+    Alcotest.test_case "sweep ranks tuned first" `Quick
+      test_sweep_ranks_tuned_first;
+    Alcotest.test_case "sweep preserves candidates" `Quick
+      test_sweep_preserves_candidates;
+    Alcotest.test_case "table rendering" `Quick test_table_rendering ]

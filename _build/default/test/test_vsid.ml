@@ -1,0 +1,131 @@
+(* VSID allocation: strategies, zombies, scatter. *)
+open Ppc
+module V = Kernel_sim.Vsid_alloc
+
+let test_pid_based () =
+  let v = V.create ~source:V.Pid_based ~multiplier:1 in
+  let c = V.new_context v ~pid:7 in
+  Alcotest.(check int) "ctx is pid" 7 c;
+  Alcotest.(check bool) "vsid live" true (V.is_live v (V.vsid v ~ctx:c ~sr:0))
+
+let test_counter_monotonic () =
+  let v = V.create ~source:V.Context_counter ~multiplier:097 in
+  let a = V.new_context v ~pid:10 in
+  let b = V.new_context v ~pid:10 in
+  Alcotest.(check bool) "fresh ids" true (a <> b);
+  Alcotest.(check int) "two live contexts" 2 (V.live_contexts v)
+
+let test_renew_creates_zombie () =
+  let v = V.create ~source:V.Context_counter ~multiplier:097 in
+  let c = V.new_context v ~pid:1 in
+  let old_vsid = V.vsid v ~ctx:c ~sr:3 in
+  let c' = V.renew_context v ~old_ctx:c ~pid:1 in
+  Alcotest.(check bool) "new id" true (c <> c');
+  Alcotest.(check bool) "old vsid is zombie" true (V.is_zombie v old_vsid);
+  Alcotest.(check bool) "new vsid live" true
+    (V.is_live v (V.vsid v ~ctx:c' ~sr:3));
+  Alcotest.(check int) "still one live context" 1 (V.live_contexts v)
+
+let test_pid_cannot_renew () =
+  let v = V.create ~source:V.Pid_based ~multiplier:1 in
+  let c = V.new_context v ~pid:1 in
+  match V.renew_context v ~old_ctx:c ~pid:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "Pid_based renew must fail"
+
+let test_retire () =
+  let v = V.create ~source:V.Context_counter ~multiplier:097 in
+  let c = V.new_context v ~pid:1 in
+  let vsid = V.vsid v ~ctx:c ~sr:0 in
+  V.retire_context v c;
+  Alcotest.(check bool) "zombie after retire" true (V.is_zombie v vsid);
+  Alcotest.(check int) "no live contexts" 0 (V.live_contexts v)
+
+let test_kernel_always_live () =
+  let v = V.create ~source:V.Context_counter ~multiplier:097 in
+  for sr = 12 to 15 do
+    let kv = V.kernel_vsid ~sr in
+    Alcotest.(check bool) "kernel vsid live" true (V.is_live v kv);
+    Alcotest.(check bool) "is_kernel" true (V.is_kernel kv)
+  done;
+  Alcotest.(check bool) "user vsid is not kernel" false
+    (V.is_kernel (V.vsid v ~ctx:(V.new_context v ~pid:1) ~sr:0))
+
+let test_vsid_encodes_segment () =
+  let v = V.create ~source:V.Context_counter ~multiplier:097 in
+  let c = V.new_context v ~pid:1 in
+  let v0 = V.vsid v ~ctx:c ~sr:0 in
+  for sr = 0 to 15 do
+    Alcotest.(check int) "segment selects the top nibble"
+      ((sr lsl 20) lor v0)
+      (V.vsid v ~ctx:c ~sr)
+  done;
+  (* different contexts get different low bits *)
+  let c2 = V.new_context v ~pid:2 in
+  Alcotest.(check bool) "contexts disjoint" true
+    (V.vsid v ~ctx:c2 ~sr:0 <> v0)
+
+(* §5.2: hash-scatter quality.  Many processes with identical address
+   layouts: the tuned multiplier must spread their PTEs across far more
+   PTEGs than the naive one. *)
+let pteg_coverage ~multiplier ~n_procs ~pages =
+  let v = V.create ~source:V.Pid_based ~multiplier in
+  let n_ptegs = 2048 in
+  let seen = Hashtbl.create 1024 in
+  for pid = 1 to n_procs do
+    let ctx = V.new_context v ~pid in
+    for page = 0 to pages - 1 do
+      (* pages in segment 0, identical layout in every process *)
+      let vsid = V.vsid v ~ctx ~sr:0 in
+      let h = Pte.hash_primary ~n_ptegs ~vsid ~page_index:page in
+      Hashtbl.replace seen h ()
+    done
+  done;
+  Hashtbl.length seen
+
+let test_scatter_beats_naive () =
+  let naive = pteg_coverage ~multiplier:1 ~n_procs:32 ~pages:32 in
+  let tuned =
+    pteg_coverage ~multiplier:V.scatter_multiplier ~n_procs:32 ~pages:32
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "tuned (%d PTEGs) covers >2x naive (%d)" tuned naive)
+    true
+    (tuned > 2 * naive)
+
+let prop_vsid_liveness_consistent =
+  QCheck.Test.make ~name:"issued vsids are live until retired" ~count:200
+    QCheck.(int_bound 1000)
+    (fun pid ->
+      let v = V.create ~source:V.Context_counter ~multiplier:097 in
+      let c = V.new_context v ~pid in
+      let ok = ref true in
+      for sr = 0 to 11 do
+        if not (V.is_live v (V.vsid v ~ctx:c ~sr)) then ok := false
+      done;
+      V.retire_context v c;
+      for sr = 0 to 11 do
+        if V.is_live v (V.vsid v ~ctx:c ~sr) then ok := false
+      done;
+      !ok)
+
+let test_multiplier_validation () =
+  match V.create ~source:V.Pid_based ~multiplier:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-positive multiplier must be rejected"
+
+let suite =
+  [ Alcotest.test_case "pid based" `Quick test_pid_based;
+    Alcotest.test_case "counter monotonic" `Quick test_counter_monotonic;
+    Alcotest.test_case "renew creates zombie" `Quick
+      test_renew_creates_zombie;
+    Alcotest.test_case "pid cannot renew" `Quick test_pid_cannot_renew;
+    Alcotest.test_case "retire" `Quick test_retire;
+    Alcotest.test_case "kernel vsids always live" `Quick
+      test_kernel_always_live;
+    Alcotest.test_case "segment in vsid" `Quick test_vsid_encodes_segment;
+    Alcotest.test_case "scatter beats naive (§5.2)" `Quick
+      test_scatter_beats_naive;
+    Alcotest.test_case "multiplier validation" `Quick
+      test_multiplier_validation;
+    QCheck_alcotest.to_alcotest prop_vsid_liveness_consistent ]

@@ -1,0 +1,263 @@
+(* Workloads: reference generator, lmbench drivers, kbuild. *)
+open Ppc
+module Kernel = Kernel_sim.Kernel
+module Policy = Kernel_sim.Policy
+module Refgen = Workloads.Refgen
+module Lmbench = Workloads.Lmbench
+module Kbuild = Workloads.Kbuild
+module Measure = Workloads.Measure
+
+let test_refgen_bounds () =
+  let rng = Rng.create ~seed:1 in
+  let g = Refgen.create ~rng ~base_ea:0x40000000 ~pages:10 () in
+  for _ = 1 to 1000 do
+    let ea = Refgen.next g in
+    Alcotest.(check bool) "within region" true
+      (ea >= 0x40000000 && ea < 0x40000000 + (10 * Addr.page_size));
+    Alcotest.(check int) "word aligned" 0 (ea land 3)
+  done
+
+let test_refgen_determinism () =
+  let mk () =
+    Refgen.create ~rng:(Rng.create ~seed:5) ~base_ea:0 ~pages:100 ()
+  in
+  let a = mk () and b = mk () in
+  for _ = 1 to 200 do
+    Alcotest.(check int) "same stream" (Refgen.next a) (Refgen.next b)
+  done
+
+let test_refgen_locality () =
+  let rng = Rng.create ~seed:9 in
+  let g =
+    Refgen.create ~rng ~base_ea:0 ~pages:100 ~hot_fraction:0.1 ~locality:0.9
+      ()
+  in
+  let hot = ref 0 in
+  let n = 5000 in
+  for _ = 1 to n do
+    if Refgen.next g < 10 * Addr.page_size then incr hot
+  done;
+  let frac = float_of_int !hot /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "hot fraction %.2f near 0.91" frac)
+    true
+    (frac > 0.85 && frac < 0.97)
+
+let test_measure_delta () =
+  let k =
+    Kernel.boot ~machine:Machine.ppc604_185 ~policy:Policy.optimized ~seed:1 ()
+  in
+  let d = Measure.perf k (fun () -> Kernel.idle_for k ~cycles:1000) in
+  Alcotest.(check bool) "cycles measured" true (d.Perf.cycles >= 1000);
+  let c = Measure.cycles k (fun () -> ()) in
+  Alcotest.(check int) "empty region is free" 0 c
+
+let boot () =
+  Kernel.boot ~machine:Machine.ppc604_133 ~policy:Policy.optimized ~seed:1 ()
+
+let test_null_positive () =
+  let us = Lmbench.null_syscall_us (boot ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "null %.2fus in a sane band" us)
+    true (us > 0.2 && us < 50.0)
+
+let test_ctx_more_procs_costs_more () =
+  let c2 = Lmbench.ctx_switch_us (boot ()) ~nprocs:2 in
+  let c8 = Lmbench.ctx_switch_us (boot ()) ~nprocs:8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "ctx8 %.1f >= ctx2 %.1f" c8 c2)
+    true (c8 >= c2 *. 0.9)
+
+let test_pipe_latency_exceeds_null () =
+  let k = boot () in
+  let null = Lmbench.null_syscall_us k in
+  let lat = Lmbench.pipe_latency_us (boot ()) in
+  Alcotest.(check bool) "pipe latency > syscall" true (lat > null)
+
+let test_pipe_bw_positive () =
+  let bw = Lmbench.pipe_bandwidth_mbs (boot ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "bw %.1f MB/s sane" bw)
+    true
+    (bw > 5.0 && bw < 500.0)
+
+let test_benchmarks_clean_up () =
+  let k = boot () in
+  ignore (Lmbench.pipe_latency_us k : float);
+  Alcotest.(check int) "no leaked tasks" 0 (List.length (Kernel.tasks k));
+  Alcotest.(check bool) "no current task" true (Kernel.current k = None)
+
+let test_benchmark_determinism () =
+  let a = Lmbench.mmap_latency_us (boot ()) in
+  let b = Lmbench.mmap_latency_us (boot ()) in
+  Alcotest.(check (float 1e-9)) "same seed, same result" a b
+
+let test_pipe_loaded_slower_than_idle () =
+  let idle_lat = Lmbench.pipe_latency_us (boot ()) in
+  let loaded_lat = Lmbench.pipe_latency_loaded_us (boot ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "loaded %.1f >= idle %.1f" loaded_lat idle_lat)
+    true
+    (loaded_lat >= idle_lat *. 0.95)
+
+let small_multiuser =
+  { Workloads.Multiuser.rounds = 6;
+    editor_pages = 40;
+    compile_pages = 80;
+    spool_pages = 12 }
+
+let test_multiuser_runs () =
+  let r =
+    Workloads.Multiuser.measure ~machine:Machine.ppc604_133
+      ~policy:Policy.optimized ~params:small_multiuser ()
+  in
+  let module Mu = Workloads.Multiuser in
+  Alcotest.(check bool) "busy positive" true (r.Mu.busy_us > 0.0);
+  Alcotest.(check bool) "keystroke latency positive" true
+    (r.Mu.keystroke_us > 0.0);
+  Alcotest.(check bool) "utility latency positive" true
+    (r.Mu.utility_us > 0.0);
+  Alcotest.(check bool) "idle time existed (think time)" true
+    (r.Mu.perf.Perf.idle_cycles > 0)
+
+let test_multiuser_optimized_wins () =
+  let module Mu = Workloads.Multiuser in
+  let busy policy =
+    (Mu.measure ~machine:Machine.ppc604_133 ~policy ~params:small_multiuser
+       ())
+      .Mu.busy_us
+  in
+  Alcotest.(check bool) "optimized kernel is faster" true
+    (busy Policy.baseline > busy Policy.optimized)
+
+let test_multiuser_cleans_up () =
+  let k =
+    Kernel.boot ~machine:Machine.ppc604_133 ~policy:Policy.optimized ~seed:3 ()
+  in
+  ignore (Workloads.Multiuser.run k ~params:small_multiuser : float * float);
+  Alcotest.(check int) "no tasks left" 0 (List.length (Kernel.tasks k))
+
+let small_kbuild =
+  { Kbuild.jobs = 2;
+    compute_rounds = 4;
+    job_text_pages = 20;
+    job_data_pages = 40;
+    source_pages = 8;
+    header_pages = 16 }
+
+let test_kbuild_runs () =
+  let r =
+    Kbuild.measure ~machine:Machine.ppc604_185 ~policy:Policy.optimized
+      ~params:small_kbuild ()
+  in
+  Alcotest.(check bool) "wall positive" true (r.Kbuild.wall_us > 0.0);
+  Alcotest.(check bool) "busy <= wall" true (r.Kbuild.busy_us <= r.Kbuild.wall_us);
+  Alcotest.(check bool) "faults happened" true
+    (r.Kbuild.perf.Perf.page_faults > 0);
+  Alcotest.(check bool) "syscalls happened" true
+    (r.Kbuild.perf.Perf.syscalls > 0)
+
+let test_kbuild_releases_memory () =
+  let k =
+    Kernel.boot ~machine:Machine.ppc604_185 ~policy:Policy.optimized ~seed:1 ()
+  in
+  let pm = Kernel.physmem k in
+  let free0 = Kernel_sim.Physmem.free_frames pm in
+  Kbuild.run k ~params:small_kbuild;
+  (* page-cache headers stay resident; everything else must come back *)
+  Alcotest.(check bool) "most frames released" true
+    (Kernel_sim.Physmem.free_frames pm
+    >= free0 - small_kbuild.Kbuild.header_pages - 70);
+  Alcotest.(check int) "no tasks left" 0 (List.length (Kernel.tasks k))
+
+let test_kbuild_baseline_slower () =
+  let wall policy =
+    (Kbuild.measure ~machine:Machine.ppc604_185 ~policy ~params:small_kbuild
+       ())
+      .Kbuild.busy_us
+  in
+  let base = wall Policy.baseline in
+  let opt = wall Policy.optimized in
+  Alcotest.(check bool)
+    (Printf.sprintf "baseline %.0f > optimized %.0f" base opt)
+    true (base > opt)
+
+let test_workload_identical_across_policies () =
+  (* with the MMU rng split from the workload rng, two policies at one
+     seed must see byte-identical workloads: the workload-driven
+     counters (syscalls, faults) coincide even though MMU behaviour
+     differs *)
+  let run policy =
+    (Kbuild.measure ~machine:Machine.ppc604_185 ~policy ~params:small_kbuild
+       ~seed:9 ())
+      .Kbuild.perf
+  in
+  let a = run Policy.baseline in
+  let b = run Policy.optimized in
+  Alcotest.(check int) "same syscall count" a.Perf.syscalls b.Perf.syscalls;
+  Alcotest.(check int) "same fault count" a.Perf.page_faults
+    b.Perf.page_faults;
+  Alcotest.(check bool) "but MMU behaviour differs" true
+    (Perf.tlb_misses a <> Perf.tlb_misses b)
+
+let test_interactive_runs () =
+  let module I = Workloads.Interactive in
+  let small =
+    { I.keystrokes = 6; think_cycles = 20_000; editor_pages = 32;
+      compile_pages = 80 }
+  in
+  let r =
+    I.measure ~machine:Machine.ppc604_133 ~policy:Policy.optimized
+      ~params:small ~seed:4 ()
+  in
+  Alcotest.(check bool) "mean response positive" true
+    (r.I.mean_response_us > 0.0);
+  Alcotest.(check bool) "worst >= mean" true
+    (r.I.worst_response_us >= r.I.mean_response_us);
+  Alcotest.(check bool) "wall covers the session" true
+    (r.I.wall_us > r.I.mean_response_us)
+
+let test_interactive_optimized_snappier () =
+  let module I = Workloads.Interactive in
+  let small =
+    { I.keystrokes = 10; think_cycles = 20_000; editor_pages = 48;
+      compile_pages = 120 }
+  in
+  let mean policy =
+    (I.measure ~machine:Machine.ppc604_133 ~policy ~params:small ~seed:4 ())
+      .I.mean_response_us
+  in
+  Alcotest.(check bool) "optimized kernel responds faster" true
+    (mean Policy.optimized < mean Policy.baseline)
+
+let suite =
+  [ Alcotest.test_case "refgen bounds" `Quick test_refgen_bounds;
+    Alcotest.test_case "refgen determinism" `Quick test_refgen_determinism;
+    Alcotest.test_case "refgen locality" `Quick test_refgen_locality;
+    Alcotest.test_case "measure deltas" `Quick test_measure_delta;
+    Alcotest.test_case "null syscall sane" `Quick test_null_positive;
+    Alcotest.test_case "ctx scales with procs" `Quick
+      test_ctx_more_procs_costs_more;
+    Alcotest.test_case "pipe latency > syscall" `Quick
+      test_pipe_latency_exceeds_null;
+    Alcotest.test_case "pipe bandwidth sane" `Quick test_pipe_bw_positive;
+    Alcotest.test_case "benchmarks clean up" `Quick test_benchmarks_clean_up;
+    Alcotest.test_case "benchmark determinism" `Quick
+      test_benchmark_determinism;
+    Alcotest.test_case "kbuild runs" `Quick test_kbuild_runs;
+    Alcotest.test_case "kbuild releases memory" `Quick
+      test_kbuild_releases_memory;
+    Alcotest.test_case "kbuild baseline slower" `Slow
+      test_kbuild_baseline_slower;
+    Alcotest.test_case "loaded pipe latency" `Slow
+      test_pipe_loaded_slower_than_idle;
+    Alcotest.test_case "multiuser runs" `Quick test_multiuser_runs;
+    Alcotest.test_case "multiuser optimized wins" `Slow
+      test_multiuser_optimized_wins;
+    Alcotest.test_case "multiuser cleans up" `Quick test_multiuser_cleans_up;
+    Alcotest.test_case "workloads identical across policies" `Quick
+      test_workload_identical_across_policies;
+    Alcotest.test_case "interactive workload runs" `Quick
+      test_interactive_runs;
+    Alcotest.test_case "interactive optimized snappier" `Slow
+      test_interactive_optimized_snappier ]
