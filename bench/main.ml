@@ -3,11 +3,14 @@
 
    The experiments themselves live in Mmu_tricks.Experiments (one
    function per table/claim, structured results); this driver selects,
-   runs and prints them, then runs a bechamel micro-benchmark pass over
+   runs and prints them — optionally across worker processes via
+   Mmu_tricks.Runner — then runs a bechamel micro-benchmark pass over
    the simulator's hot paths.
 
    Run everything:          dune exec bench/main.exe
    Run some sections:       dune exec bench/main.exe -- T1 E6 ...
+   Across 4 workers:        dune exec bench/main.exe -- --jobs 4
+   Machine-readable:        dune exec bench/main.exe -- --json
    Skip the bechamel pass:  dune exec bench/main.exe -- --no-micro *)
 
 open Ppc
@@ -89,14 +92,43 @@ let sections = Experiments.all @ [ ("EX3", ex3) ]
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let no_micro = List.mem "--no-micro" args in
-  let wanted = List.filter (fun a -> a <> "--no-micro") args in
+  let json = List.mem "--json" args in
+  let rec parse jobs wanted = function
+    | [] -> (jobs, List.rev wanted)
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> parse j wanted rest
+        | _ -> (prerr_endline "bench: --jobs expects a positive integer"; exit 2))
+    | "--jobs" :: [] ->
+        prerr_endline "bench: --jobs expects a positive integer";
+        exit 2
+    | ("--no-micro" | "--json") :: rest -> parse jobs wanted rest
+    | name :: rest -> parse jobs (name :: wanted) rest
+  in
+  let jobs, wanted = parse 1 [] args in
   let chosen =
     if wanted = [] then sections
     else List.filter (fun (name, _) -> List.mem name wanted) sections
   in
-  print_endline
-    "Reproduction harness: Optimizing the Idle Task and Other MMU Tricks \
-     (OSDI 1999)";
-  List.iter (fun (_, f) -> Experiments.print (f ?seed:(Some seed) ())) chosen;
-  if (not no_micro) && wanted = [] then micro ();
-  print_newline ()
+  if not json then
+    print_endline
+      "Reproduction harness: Optimizing the Idle Task and Other MMU Tricks \
+       (OSDI 1999)";
+  let results = Mmu_tricks.Runner.run ~jobs ~seed chosen in
+  let tables =
+    List.filter_map
+      (function
+        | id, Mmu_tricks.Runner.Done t -> Some (id, t)
+        | id, Mmu_tricks.Runner.Failed m ->
+            Printf.eprintf "bench: %s failed: %s\n" id m;
+            None)
+      results
+  in
+  if json then
+    print_string
+      (Mmu_tricks.Json.to_string (Mmu_tricks.Baseline.doc_to_json ~seed tables)
+      ^ "\n")
+  else List.iter (fun (_, t) -> Experiments.print t) tables;
+  if (not json) && (not no_micro) && wanted = [] then micro ();
+  if not json then print_newline ();
+  if List.length tables < List.length chosen then exit 1

@@ -1,11 +1,13 @@
 (* mmu_sim: command-line driver for the simulator.
 
    Subcommands:
-     lmbench   run the LmBench-style suite on a machine/policy
-     kbuild    run the synthetic kernel compile and dump counters
-     table3    run the Table 3 OS comparison
-     policies  list the named policy presets
-     machines  list the machine descriptions *)
+     lmbench    run the LmBench-style suite on a machine/policy
+     kbuild     run the synthetic kernel compile and dump counters
+     table3     run the Table 3 OS comparison
+     experiment run reproduction experiments (parallel, table/CSV/JSON)
+     check      rerun experiments against a committed baseline
+     policies   list the named policy presets
+     machines   list the machine descriptions *)
 
 open Ppc
 module Kernel = Kernel_sim.Kernel
@@ -18,6 +20,9 @@ module Os_model = Mmu_tricks.Os_model
 module Lmbench = Workloads.Lmbench
 module Kbuild = Workloads.Kbuild
 module Experiments = Mmu_tricks.Experiments
+module Runner = Mmu_tricks.Runner
+module Baseline = Mmu_tricks.Baseline
+module Json = Mmu_tricks.Json
 
 let machines =
   [ ("601-80", Machine.ppc601_80);
@@ -145,19 +150,126 @@ let table3 seed =
         "pipe bw MB/s" ]
     ~rows
 
-let experiment names seed csv =
-  let known = List.map fst Experiments.all in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name Experiments.all with
-      | Some f ->
-          let t = f ?seed:(Some seed) () in
-          if csv then print_string (Experiments.to_csv t)
-          else Experiments.print t
-      | None ->
-          Printf.eprintf "unknown experiment %S (known: %s)\n" name
-            (String.concat ", " known))
-    (if names = [] then known else names)
+let experiment names seed jobs csv json out =
+  if out <> None && not (csv || json) then
+    Error (`Msg "--out requires --json or --csv")
+  else begin
+    let specs =
+      if names = [] then Experiments.registry
+      else
+        (* names were validated by the id converter, so find succeeds *)
+        List.filter_map Experiments.find names
+    in
+    let selected =
+      List.map (fun s -> (s.Experiments.id, s.Experiments.run)) specs
+    in
+    let results = Runner.run ~jobs ~seed selected in
+    let tables =
+      List.filter_map
+        (function id, Runner.Done t -> Some (id, t) | _, Runner.Failed _ -> None)
+        results
+    in
+    let failures =
+      List.filter_map
+        (function id, Runner.Failed m -> Some (id, m) | _, Runner.Done _ -> None)
+        results
+    in
+    let emit oc =
+      if json then
+        output_string oc
+          (Json.to_string (Baseline.doc_to_json ~seed tables) ^ "\n")
+      else if csv then
+        List.iter
+          (fun (_, t) -> output_string oc (Experiments.to_csv t ^ "\n"))
+          tables
+    in
+    (match out with
+    | Some path -> Out_channel.with_open_text path emit
+    | None ->
+        if csv || json then emit stdout
+        else List.iter (fun (_, t) -> Experiments.print t) tables);
+    match failures with
+    | [] -> Ok ()
+    | fs ->
+        Error
+          (`Msg
+            (String.concat "; "
+               (List.map (fun (id, m) -> id ^ " failed: " ^ m) fs)))
+  end
+
+let check baseline_file jobs tolerance =
+  match Baseline.load baseline_file with
+  | Error msg -> Error (`Msg msg)
+  | Ok doc ->
+      let seed = doc.Baseline.d_seed in
+      let known, unknown =
+        List.partition
+          (fun (id, _) -> Experiments.find id <> None)
+          doc.Baseline.d_entries
+      in
+      let selected =
+        List.map
+          (fun (id, _) ->
+            (id, (Option.get (Experiments.find id)).Experiments.run))
+          known
+      in
+      Printf.printf "checking %d experiments against %s (seed %d, %d jobs)\n\n"
+        (List.length selected) baseline_file seed jobs;
+      flush stdout;
+      let results = Runner.run ~jobs ~seed selected in
+      let checks =
+        List.map2
+          (fun (id, btable) (_, outcome) ->
+            let tol = Baseline.tolerance_for ~default:tolerance doc id in
+            match outcome with
+            | Runner.Done t ->
+                ( Baseline.check_table ~id ~tol ~baseline:btable ~current:t,
+                  tol )
+            | Runner.Failed m ->
+                ( { Baseline.c_id = id; c_ok = false; c_numbers = 0;
+                    c_max_rel = 0.0; c_detail = Some ("raised: " ^ m) },
+                  tol ))
+          known results
+        @ List.map
+            (fun (id, _) ->
+              ( { Baseline.c_id = id; c_ok = false; c_numbers = 0;
+                  c_max_rel = 0.0;
+                  c_detail = Some "baseline names an unknown experiment" },
+                tolerance ))
+            unknown
+      in
+      Report.table
+        ~header:[ "experiment"; "status"; "numbers"; "max rel dev"; "tolerance" ]
+        ~rows:
+          (List.map
+             (fun (c, tol) ->
+               [ c.Baseline.c_id;
+                 (if c.Baseline.c_ok then "pass" else "FAIL");
+                 string_of_int c.Baseline.c_numbers;
+                 Printf.sprintf "%.5f" c.Baseline.c_max_rel;
+                 Printf.sprintf "%.3f" tol ])
+             checks);
+      let bad = List.filter (fun (c, _) -> not c.Baseline.c_ok) checks in
+      List.iter
+        (fun (c, _) ->
+          match c.Baseline.c_detail with
+          | Some d -> Printf.printf "  %s: %s\n" c.Baseline.c_id d
+          | None -> ())
+        bad;
+      let numbers =
+        List.fold_left (fun acc (c, _) -> acc + c.Baseline.c_numbers) 0 checks
+      in
+      if bad = [] then begin
+        Printf.printf "\nOK: %d experiments, %d numbers within tolerance\n"
+          (List.length checks) numbers;
+        Ok ()
+      end
+      else begin
+        Printf.printf "\nFAIL: %d of %d experiments regressed\n"
+          (List.length bad) (List.length checks);
+        flush stdout;
+        exit 1
+      end
 
 let tune_vsid seed =
   let scores =
@@ -225,18 +337,84 @@ let tune_vsid_cmd =
        ~doc:"Sweep VSID scatter constants with the sec-5.2 histogram method.")
     Term.(const tune_vsid $ seed_term)
 
+let experiment_id =
+  let parse s =
+    match Experiments.find s with
+    | Some spec -> Ok spec.Experiments.id
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown experiment %S (known: %s)" s
+               (String.concat ", "
+                  (List.map (fun x -> x.Experiments.id) Experiments.registry))))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let jobs_term =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker processes (experiments fork and run in parallel; \
+              results are merged in registry order, byte-identical to a \
+              serial run).")
+
 let experiment_cmd =
   let names =
-    Arg.(value & pos_all string [] & info [] ~docv:"NAME"
-           ~doc:"Experiment ids (T1..T3, E1..E16, EX1, EX2); all if none.")
+    Arg.(value & pos_all experiment_id [] & info [] ~docv:"NAME"
+           ~doc:"Experiment ids (T1..T3, E1..E16, EX1..EX7); all if none.")
   in
   let csv =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.")
   in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the machine-readable results document (the baseline \
+                format) instead of tables.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write --json/--csv output to $(docv) instead of stdout.")
+  in
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Run reproduction experiments (tables printed with paper values).")
-    Term.(const experiment $ names $ seed_term $ csv)
+    Term.(
+      term_result
+        (const experiment $ names $ seed_term $ jobs_term $ csv $ json $ out))
+
+let check_cmd =
+  let baseline =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"Baseline results document (from $(b,experiment --json)).")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 0.02
+      & info [ "tolerance" ] ~docv:"REL"
+          ~doc:"Default relative tolerance per numeric cell; the baseline \
+                file's \"tolerance\"/\"tolerances\" fields override it.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Rerun experiments and compare against a baseline; exit 1 on \
+             regression."
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "Reruns every experiment named by the baseline at the \
+              baseline's seed, extracts every numeric token from every \
+              table cell, and requires each to match the recorded value \
+              within a relative tolerance. The experiments are \
+              deterministic per seed, so any drift is a real behaviour \
+              change." ])
+    Term.(term_result (const check $ baseline $ jobs_term $ tolerance))
 
 let policies_cmd =
   Cmd.v
@@ -255,4 +433,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ lmbench_cmd; kbuild_cmd; multiuser_cmd; xserver_cmd; table3_cmd;
-            experiment_cmd; tune_vsid_cmd; policies_cmd; machines_list_cmd ]))
+            experiment_cmd; check_cmd; tune_vsid_cmd; policies_cmd;
+            machines_list_cmd ]))

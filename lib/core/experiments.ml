@@ -898,9 +898,139 @@ let ex7 ?(seed = 42) () =
       [ "wake-to-done latency of an editor burst with a compile always";
         "runnable: the user-feel number behind the sec-1 claims." ] }
 
-let all =
-  [ ("T1", table1); ("T2", table2); ("T3", table3); ("E1", e1); ("E2", e2);
-    ("E3", e3); ("E6", e6); ("E7", e7); ("E8", e8); ("E10", e10);
-    ("E11", e11); ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15);
-    ("E16", e16); ("EX1", ex1); ("EX2", ex2); ("EX4", ex4); ("EX5", ex5);
-    ("EX6", ex6); ("EX7", ex7) ]
+(* ----------------------------------------------------------- registry *)
+
+type spec = {
+  id : string;
+  name : string;
+  section : string;
+  what : string;
+  run : ?seed:int -> unit -> table;
+}
+
+let spec id name section what run = { id; name; section; what; run }
+
+let registry =
+  [ spec "T1" "LmBench with direct (no-htab) TLB reloads" "sec 6.2"
+      "Table 1: the four processor configs with the htab bypassed, \
+       measured cells next to the paper's" table1;
+    spec "T2" "LmBench with tunable range flushing" "sec 7"
+      "Table 2: precise vs lazy flushing; the 3240us -> 41us mmap \
+       headline" table2;
+    spec "T3" "OS comparison on the 133MHz 604" "sec 4"
+      "Table 3: Linux/PPC vs the Rhapsody/MkLinux/AIX personality \
+       models" table3;
+    spec "E1" "BAT-mapping the kernel" "sec 5.1"
+      "TLB/htab miss reduction and kernel TLB share when the kernel \
+       lives in BAT registers" e1;
+    spec "E2" "VSID scatter vs htab hot spots" "sec 5.2"
+      "naive vs pid-shifted vs tuned (897) VSID allocation: htab use, \
+       hit rate, evictions, full PTEGs" e2;
+    spec "E3" "Fast TLB reload code" "sec 6.1"
+      "hand-tuned reload handlers: context switch, idle and loaded pipe \
+       latency, user wall-clock" e3;
+    spec "E6" "Idle-task zombie PTE reclaim" "sec 7"
+      "evict ratio, live/zombie occupancy and hit rate with the idle \
+       scavenger on and off" e6;
+    spec "E7" "Idle-task page clearing designs" "sec 9"
+      "the four clearing designs (cached/uncached x list/no-list) on \
+       the compile workload" e7;
+    spec "E8" "Cache pollution from cached page tables" "sec 8"
+      "ablation: cache-inhibited page-table walks vs the pollution they \
+       avoid" e8;
+    spec "E10" "Range-flush cutoff sweep" "sec 7"
+      "mmap+munmap latency vs flush cutoff: the 20-page knee" e10;
+    spec "E11" "Per-process frame-buffer BAT" "sec 5.1"
+      "the paper's proposal implemented: display-server request latency \
+       with the fb in a BAT" e11;
+    spec "E12" "Locking the cache in idle" "sec 10.1"
+      "future work: idle-task cache lock vs pollution from reclaim \
+       scans and cached clearing" e12;
+    spec "E13" "Cache preloads on context switch" "sec 10.2"
+      "future work: preload hints on switch (a mildly negative result)" e13;
+    spec "E14" "Aggregate multiuser wall-clock" "sec 1"
+      "the headline: unoptimized vs optimized busy time, keystroke and \
+       utility latency" e14;
+    spec "E15" "Hash table sizing sweep" "sec 7"
+      "htab size 2k..32k PTEs: occupancy, hit rate, evictions, busy \
+       time" e15;
+    spec "E16" "htab replacement policy vs idle reclaim" "sec 7"
+      "ablation: arbitrary / second-chance / zombie-aware eviction \
+       against the idle-task fix" e16;
+    spec "EX1" "LmBench across all modeled processors" "extra"
+      "601-80 through 750-233 under the optimized kernel" ex1;
+    spec "EX2" "Parallel make: I/O overlap vs -jN" "extra"
+      "wall/busy/idle and context switches for -j1..8" ex2;
+    spec "EX4" "lat_ctx working-set sweep (TLB reach)" "extra"
+      "context-switch cost vs per-process footprint on 128- and \
+       256-entry TLBs" ex4;
+    spec "EX5" "The optimization ladder, step by step" "sec 10"
+      "the paper's methodology: each optimization applied on top of the \
+       previous ones" ex5;
+    spec "EX6" "Stability across runs (seeds)" "sec 4"
+      "key conclusions re-measured across five seeds, min/mean/max" ex6;
+    spec "EX7" "Keystroke response under a background compile" "extra"
+      "editor wake-to-done latency while a compile grinds, unoptimized \
+       vs optimized" ex7 ]
+
+let find id =
+  List.find_opt (fun s -> String.uppercase_ascii s.id = String.uppercase_ascii id) registry
+
+let all = List.map (fun s -> (s.id, s.run)) registry
+
+(* ----------------------------------------------------------- JSON I/O *)
+
+let to_json ?id ?section ?what t =
+  let opt k v rest =
+    match v with Some v -> (k, Json.String v) :: rest | None -> rest
+  in
+  let strings l = Json.List (List.map (fun s -> Json.String s) l) in
+  Json.Obj
+    (opt "id" id
+       (opt "section" section
+          (opt "what" what
+             [ ("title", Json.String t.title);
+               ("header", strings t.header);
+               ("rows", Json.List (List.map strings t.rows));
+               ("notes", strings t.notes) ])))
+
+let of_json j =
+  let ( let* ) r f = Result.bind r f in
+  let field k = Option.to_result ~none:("missing field " ^ k) (Json.member k j) in
+  let strings k v =
+    match Json.to_list_opt v with
+    | None -> Error (k ^ " is not a list")
+    | Some l ->
+        let rec conv acc = function
+          | [] -> Ok (List.rev acc)
+          | x :: rest -> (
+              match Json.to_string_opt x with
+              | Some s -> conv (s :: acc) rest
+              | None -> Error (k ^ " has a non-string element"))
+        in
+        conv [] l
+  in
+  let* title = field "title" in
+  let* title =
+    Option.to_result ~none:"title is not a string" (Json.to_string_opt title)
+  in
+  let* header = Result.bind (field "header") (strings "header") in
+  let* rows_j = field "rows" in
+  let* rows =
+    match Json.to_list_opt rows_j with
+    | None -> Error "rows is not a list"
+    | Some l ->
+        let rec conv acc = function
+          | [] -> Ok (List.rev acc)
+          | r :: rest ->
+              let* cells = strings "row" r in
+              conv (cells :: acc) rest
+        in
+        conv [] l
+  in
+  let* notes =
+    match Json.member "notes" j with
+    | None -> Ok []
+    | Some v -> strings "notes" v
+  in
+  Ok { title; header; rows; notes }

@@ -23,6 +23,14 @@ val print : table -> unit
 val to_csv : table -> string
 (** The same table as CSV (header row first; cells quoted as needed). *)
 
+val to_json : ?id:string -> ?section:string -> ?what:string -> table -> Json.t
+(** The same table as JSON ([title]/[header]/[rows]/[notes], plus the
+    optional registry metadata when given).  Inverse of {!of_json}. *)
+
+val of_json : Json.t -> (table, string) result
+(** Decode a table from {!to_json}'s representation (extra fields such
+    as ["id"] are ignored; ["notes"] may be absent). *)
+
 (** {1 The paper's tables} *)
 
 val table1 : ?seed:int -> unit -> table
@@ -106,5 +114,27 @@ val ex7 : ?seed:int -> unit -> table
 (** Extra: keystroke wake-to-done latency while a compile runs — the
     interactive-feel measurement, unoptimized vs optimized kernels. *)
 
+(** {1 The registry}
+
+    Every experiment as a first-class entry: id, short name, the paper
+    section it reproduces, a one-line description, and the function.
+    The CLI, the bench harness, the parallel {!Runner} and
+    [docs/EXPERIMENTS_GUIDE.md] are all driven from this list. *)
+
+type spec = {
+  id : string;  (** "T1".."T3", "E1".."E16", "EX1".."EX7" *)
+  name : string;  (** short human title, without the id *)
+  section : string;  (** paper section, e.g. "sec 5.1", or "extra" *)
+  what : string;  (** one-line description of what it measures *)
+  run : ?seed:int -> unit -> table;
+}
+
+val registry : spec list
+(** All experiments in canonical (paper) order. *)
+
+val find : string -> spec option
+(** Look up by id, case-insensitively. *)
+
 val all : (string * (?seed:int -> unit -> table)) list
-(** Every experiment keyed by its bench-section name ("T1".."EX2"). *)
+(** [registry] as (id, run) pairs — the shape the bench harness and the
+    {!Runner} consume. *)

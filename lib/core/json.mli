@@ -1,0 +1,39 @@
+(** A minimal JSON layer — emitter and parser — with no external
+    dependencies.
+
+    The harness needs machine-readable results ({!Experiments.to_json},
+    [mmu_sim experiment --json]) and has to read committed baselines back
+    ([mmu_sim check --baseline]), so both directions live here.  The
+    subset is full JSON minus nothing we emit: objects, arrays, strings
+    (with escapes incl. [\uXXXX]), numbers, booleans, null. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?compact:bool -> t -> string
+(** Serialize.  Default is pretty-printed (2-space indent, one key or
+    element per line) so committed baselines diff well; [~compact:true]
+    emits a single line. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document.  [Error msg] carries a byte offset.
+    Numbers without [.]/[e] that fit in [int] parse as [Int], everything
+    else as [Float]; [\uXXXX] escapes are decoded to UTF-8. *)
+
+(** {1 Accessors} — total, option-returning *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)]; [None] on missing key or non-object. *)
+
+val to_list_opt : t -> t list option
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option
+
+val to_float_opt : t -> float option
+(** Accepts both [Int] and [Float]. *)

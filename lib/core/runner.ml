@@ -1,0 +1,70 @@
+type outcome =
+  | Done of Experiments.table
+  | Failed of string
+
+let attempt ~seed f =
+  match f ?seed:(Some seed) () with
+  | t -> Done t
+  | exception e -> Failed (Printexc.to_string e)
+
+let default_jobs () =
+  match Unix.open_process_in "getconf _NPROCESSORS_ONLN 2>/dev/null" with
+  | exception _ -> 1
+  | ic -> (
+      let line = try input_line ic with End_of_file -> "" in
+      match (Unix.close_process_in ic, int_of_string_opt (String.trim line)) with
+      | _, Some n when n >= 1 -> min n 16
+      | _ -> 1)
+
+(* One pipe per worker; workers marshal each (index, id, outcome) as it
+   completes and the parent drains the pipes to EOF in worker order.
+   Results are small (a table of strings), so a worker never fills the
+   pipe buffer faster than the parent eventually drains it. *)
+let run_forked ~jobs ~seed indexed =
+  flush stdout;
+  flush stderr;
+  let workers =
+    List.init jobs (fun w ->
+        let mine = List.filter (fun (i, _) -> i mod jobs = w) indexed in
+        let rfd, wfd = Unix.pipe () in
+        match Unix.fork () with
+        | 0 ->
+            Unix.close rfd;
+            let oc = Unix.out_channel_of_descr wfd in
+            List.iter
+              (fun (i, (id, f)) ->
+                let r = attempt ~seed f in
+                Marshal.to_channel oc (i, id, r) [];
+                flush oc)
+              mine;
+            close_out oc;
+            (* _exit: skip at_exit (inherited buffers, test reporters) *)
+            Unix._exit 0
+        | pid ->
+            Unix.close wfd;
+            (pid, Unix.in_channel_of_descr rfd))
+  in
+  let results : (int, string * outcome) Hashtbl.t = Hashtbl.create 37 in
+  List.iter
+    (fun (pid, ic) ->
+      (try
+         while true do
+           let i, id, r = (Marshal.from_channel ic : int * string * outcome) in
+           Hashtbl.replace results i (id, r)
+         done
+       with End_of_file | Failure _ -> ());
+      close_in ic;
+      ignore (Unix.waitpid [] pid))
+    workers;
+  List.map
+    (fun (i, (id, _)) ->
+      match Hashtbl.find_opt results i with
+      | Some r -> r
+      | None -> (id, Failed "worker exited before delivering a result"))
+    indexed
+
+let run ?(jobs = 1) ?(seed = 42) selected =
+  let jobs = max 1 (min jobs (List.length selected)) in
+  if jobs <= 1 then
+    List.map (fun (id, f) -> (id, attempt ~seed f)) selected
+  else run_forked ~jobs ~seed (List.mapi (fun i x -> (i, x)) selected)

@@ -1,0 +1,33 @@
+(** Parallel experiment execution.
+
+    Every experiment is deterministic in its seed and boots its own
+    isolated kernel, so a run of the suite is embarrassingly parallel:
+    fork N workers, deal the experiments round-robin, marshal each
+    finished {!Experiments.table} back over a pipe, and merge in
+    registry order.  The merged output is byte-identical to a serial
+    run — parallelism changes wall-clock only, never results.
+
+    [jobs = 1] (the default) runs in-process with no fork, so the
+    runner is also the one code path the CLI and bench harness use for
+    serial runs. *)
+
+type outcome =
+  | Done of Experiments.table
+  | Failed of string
+      (** the experiment raised; the exception text crossed the pipe *)
+
+val run :
+  ?jobs:int ->
+  ?seed:int ->
+  (string * (?seed:int -> unit -> Experiments.table)) list ->
+  (string * outcome) list
+(** [run ~jobs ~seed selected] executes every [(id, fn)] pair and
+    returns [(id, outcome)] in the input's order.  [jobs] is clamped to
+    [1 .. length selected].  An experiment that raises becomes [Failed]
+    (in-process or in a worker) rather than aborting the batch; a worker
+    that dies without delivering marks its remaining experiments
+    [Failed]. *)
+
+val default_jobs : unit -> int
+(** Number of online cores (from [getconf _NPROCESSORS_ONLN]), clamped
+    to [1 .. 16]; 1 when it cannot be determined. *)

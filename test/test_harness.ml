@@ -1,0 +1,318 @@
+(* The experiment harness: Json, Runner, Baseline, CSV escaping. *)
+module Experiments = Mmu_tricks.Experiments
+module Json = Mmu_tricks.Json
+module Runner = Mmu_tricks.Runner
+module Baseline = Mmu_tricks.Baseline
+
+(* ------------------------------------------------------------- to_csv *)
+
+let csv t = Experiments.to_csv t
+
+let mk_table ?(title = "t") ?(header = [ "a"; "b" ]) ?(notes = []) rows =
+  { Experiments.title; header; rows; notes }
+
+let test_csv_comma () =
+  Alcotest.(check string) "comma quoted" "a,b\n\"x,y\",z\n"
+    (csv (mk_table [ [ "x,y"; "z" ] ]))
+
+let test_csv_quote () =
+  Alcotest.(check string) "quote doubled" "a,b\n\"he said \"\"hi\"\"\",z\n"
+    (csv (mk_table [ [ "he said \"hi\""; "z" ] ]))
+
+let test_csv_newline () =
+  Alcotest.(check string) "newline quoted" "a,b\n\"two\nlines\",z\n"
+    (csv (mk_table [ [ "two\nlines"; "z" ] ]))
+
+let test_csv_mixed () =
+  (* all three at once, plus a plain cell left untouched *)
+  Alcotest.(check string) "mixed" "a,b\n\"a,\"\"b\"\"\nc\",plain\n"
+    (csv (mk_table [ [ "a,\"b\"\nc"; "plain" ] ]))
+
+let test_csv_header_quoted () =
+  Alcotest.(check string) "header cells are escaped too"
+    "\"x,y\",b\n1,2\n"
+    (csv (mk_table ~header:[ "x,y"; "b" ] [ [ "1"; "2" ] ]))
+
+(* --------------------------------------------------------------- json *)
+
+let rec json_eq a b =
+  match (a, b) with
+  | Json.Null, Json.Null -> true
+  | Json.Bool x, Json.Bool y -> x = y
+  | Json.Int x, Json.Int y -> x = y
+  | Json.Float x, Json.Float y -> x = y
+  | Json.Int x, Json.Float y | Json.Float y, Json.Int x ->
+      float_of_int x = y
+  | Json.String x, Json.String y -> x = y
+  | Json.List x, Json.List y ->
+      List.length x = List.length y && List.for_all2 json_eq x y
+  | Json.Obj x, Json.Obj y ->
+      List.length x = List.length y
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> k1 = k2 && json_eq v1 v2)
+           x y
+  | _ -> false
+
+let roundtrip v =
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> v'
+  | Error e -> Alcotest.fail e
+
+let test_json_roundtrip_values () =
+  let cases =
+    [ Json.Null; Json.Bool true; Json.Bool false; Json.Int 0;
+      Json.Int (-42); Json.Int 219000000; Json.Float 3.14159;
+      Json.Float (-0.001); Json.Float 1e22; Json.String "";
+      Json.String "plain"; Json.String "esc \" \\ \n \t \r \b \012 done";
+      Json.String "unicode snowman: \xe2\x98\x83"; Json.List [];
+      Json.Obj [];
+      Json.List [ Json.Int 1; Json.String "two"; Json.List [ Json.Null ] ];
+      Json.Obj
+        [ ("k", Json.String "v");
+          ("nested", Json.Obj [ ("l", Json.List [ Json.Bool false ]) ]) ] ]
+  in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        ("round trip: " ^ Json.to_string ~compact:true v)
+        true
+        (json_eq v (roundtrip v)))
+    cases;
+  (* compact form round-trips too *)
+  let v = Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Float 2.5 ]) ] in
+  match Json.of_string (Json.to_string ~compact:true v) with
+  | Ok v' -> Alcotest.(check bool) "compact" true (json_eq v v')
+  | Error e -> Alcotest.fail e
+
+let test_json_parse_escapes () =
+  match Json.of_string {|{"s": "aA\n\t\"\\é"}|} with
+  | Ok j ->
+      Alcotest.(check (option string))
+        "escapes decode"
+        (Some "aA\n\t\"\\\xc3\xa9")
+        (Option.bind (Json.member "s" j) Json.to_string_opt)
+  | Error e -> Alcotest.fail e
+
+let test_json_parse_errors () =
+  let bad = [ ""; "{"; "[1,"; "[1 2]"; "{\"a\" 1}"; "tru"; "\"unterminated";
+              "[1] garbage"; "{\"a\":}" ] in
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.fail ("accepted bad JSON: " ^ s)
+      | Error _ -> ())
+    bad
+
+let test_json_numbers () =
+  match Json.of_string "[1, -2, 3.5, 1e3, 219000000, -0.25]" with
+  | Ok (Json.List [ a; b; c; d; e; f ]) ->
+      Alcotest.(check (option int)) "int" (Some 1) (Json.to_int_opt a);
+      Alcotest.(check (option int)) "neg int" (Some (-2)) (Json.to_int_opt b);
+      Alcotest.(check (option (float 1e-9))) "float" (Some 3.5)
+        (Json.to_float_opt c);
+      Alcotest.(check (option (float 1e-9))) "exponent" (Some 1000.0)
+        (Json.to_float_opt d);
+      Alcotest.(check (option int)) "big int" (Some 219000000)
+        (Json.to_int_opt e);
+      Alcotest.(check (option (float 1e-9))) "neg float" (Some (-0.25))
+        (Json.to_float_opt f)
+  | Ok _ -> Alcotest.fail "wrong shape"
+  | Error e -> Alcotest.fail e
+
+let test_table_json_roundtrip () =
+  let t =
+    mk_table ~title:"T — with, punctuation\"" ~notes:[ "note 1"; "note 2" ]
+      [ [ "603 180MHz (htab)"; "2.08/1.80" ]; [ "-10% (hw 4)"; "x,y\nz" ] ]
+  in
+  match Experiments.of_json (Experiments.to_json ~id:"T9" t) with
+  | Ok t' -> Alcotest.(check bool) "table round trip" true (t = t')
+  | Error e -> Alcotest.fail e
+
+let test_results_doc_roundtrip () =
+  let entries =
+    [ ("A", mk_table [ [ "1"; "2" ] ]);
+      ("B", mk_table ~notes:[ "n" ] [ [ "3,000"; "4.5/6" ] ]) ]
+  in
+  let j = Baseline.doc_to_json ~tolerance:0.05 ~seed:7 entries in
+  match Json.of_string (Json.to_string j) with
+  | Error e -> Alcotest.fail e
+  | Ok j' -> (
+      match Baseline.doc_of_json j' with
+      | Error e -> Alcotest.fail e
+      | Ok doc ->
+          Alcotest.(check int) "seed" 7 doc.Baseline.d_seed;
+          Alcotest.(check (option (float 1e-9))) "tolerance" (Some 0.05)
+            doc.Baseline.d_tolerance;
+          Alcotest.(check bool) "entries survive" true
+            (doc.Baseline.d_entries = entries))
+
+(* ------------------------------------------------------------ baseline *)
+
+let test_numbers_of_cell () =
+  let check name expect cell =
+    Alcotest.(check (list (float 1e-9))) name expect
+      (Baseline.numbers_of_cell cell)
+  in
+  check "measured/paper" [ 1.63; 1.60 ] "1.63/1.60";
+  check "percent" [ -10.0 ] "-10%";
+  check "thousands" [ 219000000.0 ] "219,000,000";
+  check "ratio" [ 80.3 ] "80.3x";
+  check "text with units" [ 66.0; 4.0 ] "66% (hw 4)";
+  check "plain text" [] "no numbers here";
+  check "label" [ 603.0; 180.0 ] "603 180MHz (htab)";
+  check "list comma is not a separator" [ 1.0; 2.0 ] "1, 2";
+  check "grouped pair" [ 8192.0; 64.0 ] "8,192 PTEs (64 KB)"
+
+let test_check_table_pass_and_tolerance () =
+  let base = mk_table [ [ "r"; "100.0"; "3,000" ] ] in
+  let same = mk_table [ [ "r"; "100.0"; "3,000" ] ] in
+  let near = mk_table [ [ "r"; "101.0"; "3,000" ] ] in
+  let far = mk_table [ [ "r"; "150.0"; "3,000" ] ] in
+  let c = Baseline.check_table ~id:"X" ~tol:0.02 ~baseline:base ~current:same in
+  Alcotest.(check bool) "identical passes" true c.Baseline.c_ok;
+  Alcotest.(check int) "numbers counted" 2 c.Baseline.c_numbers;
+  let c = Baseline.check_table ~id:"X" ~tol:0.02 ~baseline:base ~current:near in
+  Alcotest.(check bool) "1% within 2% tol" true c.Baseline.c_ok;
+  Alcotest.(check bool) "max rel recorded" true (c.Baseline.c_max_rel > 0.009);
+  let c = Baseline.check_table ~id:"X" ~tol:0.02 ~baseline:base ~current:far in
+  Alcotest.(check bool) "50% fails 2% tol" false c.Baseline.c_ok;
+  Alcotest.(check bool) "detail names the cell" true
+    (match c.Baseline.c_detail with
+    | Some d -> String.length d > 0
+    | None -> false)
+
+let test_check_table_structure () =
+  let base = mk_table [ [ "r"; "1" ] ] in
+  let hdr = mk_table ~header:[ "a"; "c" ] [ [ "r"; "1" ] ] in
+  let rows = mk_table [ [ "r"; "1" ]; [ "s"; "2" ] ] in
+  let toks = mk_table [ [ "r"; "1/2" ] ] in
+  List.iter
+    (fun (name, cur) ->
+      let c =
+        Baseline.check_table ~id:"X" ~tol:0.5 ~baseline:base ~current:cur
+      in
+      Alcotest.(check bool) name false c.Baseline.c_ok)
+    [ ("header change fails", hdr); ("row count change fails", rows);
+      ("token count change fails", toks) ]
+
+let test_tolerance_for () =
+  let doc =
+    { Baseline.d_seed = 42; d_tolerance = Some 0.1;
+      d_tolerances = [ ("EX6", 0.3) ]; d_entries = [] }
+  in
+  Alcotest.(check (float 1e-9)) "per-experiment wins" 0.3
+    (Baseline.tolerance_for doc "EX6");
+  Alcotest.(check (float 1e-9)) "doc default next" 0.1
+    (Baseline.tolerance_for doc "T1");
+  let bare = { doc with Baseline.d_tolerance = None; d_tolerances = [] } in
+  Alcotest.(check (float 1e-9)) "fallback default" 0.02
+    (Baseline.tolerance_for bare "T1")
+
+(* -------------------------------------------------------------- runner *)
+
+let fake id rows : string * (?seed:int -> unit -> Experiments.table) =
+  ( id,
+    fun ?(seed = 42) () ->
+      mk_table ~title:(Printf.sprintf "%s seed %d" id seed) rows )
+
+let test_runner_serial_equals_parallel () =
+  let jobs_list = [ 1; 2; 3; 8 ] in
+  let work =
+    List.init 7 (fun i ->
+        fake (Printf.sprintf "W%d" i) [ [ string_of_int i; "x" ] ])
+  in
+  let serial = Runner.run ~jobs:1 ~seed:9 work in
+  List.iter
+    (fun jobs ->
+      let par = Runner.run ~jobs ~seed:9 work in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d matches serial" jobs)
+        true (par = serial))
+    jobs_list;
+  (* order is input order, and the seed reached the experiments *)
+  Alcotest.(check (list string)) "ids in order"
+    [ "W0"; "W1"; "W2"; "W3"; "W4"; "W5"; "W6" ]
+    (List.map fst serial);
+  match List.assoc "W3" serial with
+  | Runner.Done t ->
+      Alcotest.(check string) "seed plumbed" "W3 seed 9" t.Experiments.title
+  | Runner.Failed m -> Alcotest.fail m
+
+let test_runner_failure_isolation () =
+  let boom : string * (?seed:int -> unit -> Experiments.table) =
+    ("BOOM", fun ?seed:_ () -> failwith "deliberate") in
+  let work = [ fake "OK1" [ [ "1" ] ]; boom; fake "OK2" [ [ "2" ] ] ] in
+  List.iter
+    (fun jobs ->
+      match Runner.run ~jobs ~seed:1 work with
+      | [ ("OK1", Runner.Done _); ("BOOM", Runner.Failed msg);
+          ("OK2", Runner.Done _) ] ->
+          Alcotest.(check bool)
+            (Printf.sprintf "jobs=%d carries the exception text" jobs)
+            true
+            (String.length msg > 0)
+      | _ -> Alcotest.fail (Printf.sprintf "jobs=%d: wrong shape" jobs))
+    [ 1; 2 ]
+
+let test_runner_real_experiment () =
+  (* one real (cheap) experiment through the forked path: identical to
+     the in-process run *)
+  let sel = [ ("E13", (Option.get (Experiments.find "E13")).Experiments.run) ] in
+  let serial = Runner.run ~jobs:1 ~seed:3 sel in
+  let forked =
+    Runner.run ~jobs:2 ~seed:3 (sel @ [ fake "PAD" [ [ "p" ] ] ])
+  in
+  match (serial, forked) with
+  | [ (_, Runner.Done a) ], (_, Runner.Done b) :: _ ->
+      Alcotest.(check bool) "forked result identical" true (a = b)
+  | _ -> Alcotest.fail "experiment failed"
+
+let test_registry_metadata () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s.Experiments.id ^ " has a name") true
+        (String.length s.Experiments.name > 0);
+      Alcotest.(check bool) (s.Experiments.id ^ " has a section") true
+        (String.length s.Experiments.section > 0);
+      Alcotest.(check bool) (s.Experiments.id ^ " has a description") true
+        (String.length s.Experiments.what > 0))
+    Experiments.registry;
+  Alcotest.(check bool) "find is case-insensitive" true
+    (match Experiments.find "e13" with
+    | Some s -> s.Experiments.id = "E13"
+    | None -> false);
+  Alcotest.(check bool) "find rejects unknown" true
+    (Experiments.find "E99" = None);
+  Alcotest.(check int) "all mirrors registry"
+    (List.length Experiments.registry)
+    (List.length Experiments.all)
+
+let suite =
+  [ Alcotest.test_case "csv comma" `Quick test_csv_comma;
+    Alcotest.test_case "csv quote" `Quick test_csv_quote;
+    Alcotest.test_case "csv newline" `Quick test_csv_newline;
+    Alcotest.test_case "csv mixed" `Quick test_csv_mixed;
+    Alcotest.test_case "csv header quoted" `Quick test_csv_header_quoted;
+    Alcotest.test_case "json value round trips" `Quick
+      test_json_roundtrip_values;
+    Alcotest.test_case "json escape decoding" `Quick test_json_parse_escapes;
+    Alcotest.test_case "json rejects malformed input" `Quick
+      test_json_parse_errors;
+    Alcotest.test_case "json number forms" `Quick test_json_numbers;
+    Alcotest.test_case "table json round trip" `Quick
+      test_table_json_roundtrip;
+    Alcotest.test_case "results doc round trip" `Quick
+      test_results_doc_roundtrip;
+    Alcotest.test_case "numeric cell extraction" `Quick test_numbers_of_cell;
+    Alcotest.test_case "check pass and tolerance" `Quick
+      test_check_table_pass_and_tolerance;
+    Alcotest.test_case "check structural changes" `Quick
+      test_check_table_structure;
+    Alcotest.test_case "tolerance resolution" `Quick test_tolerance_for;
+    Alcotest.test_case "runner parallel = serial" `Quick
+      test_runner_serial_equals_parallel;
+    Alcotest.test_case "runner failure isolation" `Quick
+      test_runner_failure_isolation;
+    Alcotest.test_case "runner real experiment (E13)" `Slow
+      test_runner_real_experiment;
+    Alcotest.test_case "registry metadata" `Quick test_registry_metadata ]

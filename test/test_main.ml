@@ -28,6 +28,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("sched", Test_sched.suite);
       ("core", Test_core.suite);
+      ("harness", Test_harness.suite);
       ("tuning", Test_tuning.suite);
       ("edges", Test_edges.suite);
       ("reproduction", Test_reproduction.suite) ]
