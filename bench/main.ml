@@ -55,8 +55,18 @@ let micro () =
     Test.make ~name:"table3-unit: idle slice"
       (Staged.stage (fun () -> Kernel.idle_slice k3))
   in
+  (* same hot path as table1-unit but with the event trace recording, to
+     keep an eye on the observability overhead when it is switched on *)
+  let k4 = mk_kernel () in
+  Trace.enable ~ring:65536 (Kernel.trace k4);
+  Kernel.touch k4 Mmu.Store data_base;
+  let test_tr =
+    Test.make ~name:"trace-unit: warm MMU access, tracing on"
+      (Staged.stage (fun () -> Kernel.touch k4 Mmu.Load data_base))
+  in
   let grouped =
-    Test.make_grouped ~name:"simulator" [ test_t1; test_t2; test_t3 ]
+    Test.make_grouped ~name:"simulator"
+      [ test_t1; test_t2; test_t3; test_tr ]
   in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.3) () in

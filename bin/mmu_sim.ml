@@ -4,6 +4,7 @@
      lmbench    run the LmBench-style suite on a machine/policy
      kbuild     run the synthetic kernel compile and dump counters
      table3     run the Table 3 OS comparison
+     trace      run a workload with event tracing, emit Chrome trace JSON
      experiment run reproduction experiments (parallel, table/CSV/JSON)
      check      rerun experiments against a committed baseline
      policies   list the named policy presets
@@ -23,6 +24,7 @@ module Experiments = Mmu_tricks.Experiments
 module Runner = Mmu_tricks.Runner
 module Baseline = Mmu_tricks.Baseline
 module Json = Mmu_tricks.Json
+module Trace_export = Mmu_tricks.Trace
 
 let machines =
   [ ("601-80", Machine.ppc601_80);
@@ -150,9 +152,51 @@ let table3 seed =
         "pipe bw MB/s" ]
     ~rows
 
-let experiment names seed jobs csv json out =
+(* --- the trace subcommand --------------------------------------------- *)
+
+let trace_workloads = [ ("kbuild", `Kbuild); ("multiuser", `Multiuser); ("xserver", `Xserver) ]
+
+let trace_run machine policy seed workload out sample_every ring summarize =
+  let k = Kernel.boot ~machine ~policy ~seed () in
+  let tr = Kernel.trace k in
+  Trace.enable ~ring tr;
+  if sample_every > 0 then Trace.set_sampling tr ~every:sample_every;
+  let wname =
+    match workload with
+    | `Kbuild ->
+        Kbuild.run k ~params:Kbuild.default_params;
+        "kbuild"
+    | `Multiuser ->
+        let module Mu = Workloads.Multiuser in
+        ignore (Mu.run k ~params:Mu.default_params : float * float);
+        "multiuser"
+    | `Xserver ->
+        let module X = Workloads.Xserver in
+        X.run k ~params:X.default_params;
+        "xserver"
+  in
+  let doc =
+    Trace_export.to_chrome ~mhz:machine.Machine.mhz
+      ~name:("mmu_sim " ^ wname) tr
+  in
+  Out_channel.with_open_text out (fun oc ->
+      output_string oc (Json.to_string ~compact:true doc ^ "\n"));
+  Printf.printf
+    "%s: %d events (%d retained, %d dropped), %d timeline samples -> %s\n"
+    wname (Trace.total tr) (Trace.length tr) (Trace.dropped tr)
+    (List.length (Trace.samples tr))
+    out;
+  if summarize then print_string (Trace_export.summary tr)
+
+(* --- experiment runs --------------------------------------------------- *)
+
+let experiment names seed jobs csv json out traced timeline sample_every =
+  let tracing = traced || timeline in
   if out <> None && not (csv || json) then
     Error (`Msg "--out requires --json or --csv")
+  else if tracing && not json then
+    Error (`Msg "--trace/--timeline require --json (the observability data \
+                 is embedded in the results document)")
   else begin
     let specs =
       if names = [] then Experiments.registry
@@ -163,7 +207,29 @@ let experiment names seed jobs csv json out =
     let selected =
       List.map (fun s -> (s.Experiments.id, s.Experiments.run)) specs
     in
-    let results = Runner.run ~jobs ~seed selected in
+    let results, observability =
+      if not tracing then (Runner.run ~jobs ~seed selected, [])
+      else begin
+        (* Experiments boot their own kernels, unreachable from here:
+           arm tracing process-wide and collect per experiment.  Forked
+           workers would strand their traces in the child, so traced
+           runs are serial — results are byte-identical either way. *)
+        Trace.set_boot_defaults
+          ~sample_every:(if timeline then sample_every else 0)
+          ~enabled:true ();
+        let acc =
+          List.map
+            (fun (id, f) ->
+              let r = List.hd (Runner.run ~jobs:1 ~seed [ (id, f) ]) in
+              let traces = Trace.drain_registered () in
+              (r, (id, Trace_export.observability_json traces)))
+            selected
+        in
+        Trace.set_boot_defaults ~enabled:false ();
+        ignore (Trace.drain_registered () : Trace.t list);
+        (List.map fst acc, List.map snd acc)
+      end
+    in
     let tables =
       List.filter_map
         (function id, Runner.Done t -> Some (id, t) | _, Runner.Failed _ -> None)
@@ -177,7 +243,8 @@ let experiment names seed jobs csv json out =
     let emit oc =
       if json then
         output_string oc
-          (Json.to_string (Baseline.doc_to_json ~seed tables) ^ "\n")
+          (Json.to_string (Baseline.doc_to_json ~observability ~seed tables)
+          ^ "\n")
       else if csv then
         List.iter
           (fun (_, t) -> output_string oc (Experiments.to_csv t ^ "\n"))
@@ -358,6 +425,56 @@ let jobs_term =
               results are merged in registry order, byte-identical to a \
               serial run).")
 
+let sample_every_term =
+  Arg.(
+    value & opt int 100_000
+    & info [ "sample-every" ] ~docv:"CYCLES"
+        ~doc:"Timeline sampling interval in simulated cycles (0 disables \
+              sampling).")
+
+let trace_cmd =
+  let workload =
+    Arg.(
+      value
+      & pos 0 (enum trace_workloads) `Kbuild
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload: kbuild, multiuser, xserver.")
+  in
+  let out =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Chrome trace-event JSON output file (load in Perfetto or \
+                chrome://tracing).")
+  in
+  let ring =
+    Arg.(
+      value & opt int 65536
+      & info [ "ring" ] ~docv:"EVENTS"
+          ~doc:"Event ring capacity; oldest events are dropped on overflow.")
+  in
+  let summarize =
+    Arg.(
+      value & flag
+      & info [ "summary" ]
+          ~doc:"Also print the text summary (event counts, latency \
+                histograms).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a workload with event tracing and write Chrome trace JSON."
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "Boots a kernel, enables the event trace (TLB misses, htab \
+              probes and evictions, context switches, flushes, page \
+              faults, idle-task work), runs the workload, and writes the \
+              events as a Chrome trace-event document with counter \
+              timelines. Tracing never perturbs the simulation: counters \
+              match an untraced run at the same seed exactly." ])
+    Term.(
+      const trace_run $ machine_term $ policy_term $ seed_term $ workload
+      $ out $ sample_every_term $ ring $ summarize)
+
 let experiment_cmd =
   let names =
     Arg.(value & pos_all experiment_id [] & info [] ~docv:"NAME"
@@ -379,12 +496,30 @@ let experiment_cmd =
       & info [ "o"; "out" ] ~docv:"FILE"
           ~doc:"Write --json/--csv output to $(docv) instead of stdout.")
   in
+  let traced =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Record event traces and latency histograms while the \
+                experiments run, embedded per experiment in the --json \
+                document (forces serial execution; counters are \
+                unaffected).")
+  in
+  let timeline =
+    Arg.(
+      value & flag
+      & info [ "timeline" ]
+          ~doc:"Sample the Perf counters every --sample-every cycles and \
+                embed the timelines in the --json document (implies the \
+                tracing machinery; forces serial execution).")
+  in
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Run reproduction experiments (tables printed with paper values).")
     Term.(
       term_result
-        (const experiment $ names $ seed_term $ jobs_term $ csv $ json $ out))
+        (const experiment $ names $ seed_term $ jobs_term $ csv $ json $ out
+        $ traced $ timeline $ sample_every_term))
 
 let check_cmd =
   let baseline =
@@ -433,5 +568,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ lmbench_cmd; kbuild_cmd; multiuser_cmd; xserver_cmd; table3_cmd;
-            experiment_cmd; check_cmd; tune_vsid_cmd; policies_cmd;
-            machines_list_cmd ]))
+            trace_cmd; experiment_cmd; check_cmd; tune_vsid_cmd;
+            policies_cmd; machines_list_cmd ]))

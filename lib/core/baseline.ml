@@ -7,11 +7,19 @@ type doc = {
 
 let schema = "mmu-tricks/results-v1"
 
-let doc_to_json ?tolerance ~seed entries =
+let doc_to_json ?tolerance ?(observability = []) ~seed entries =
   let entry (id, t) =
-    match Experiments.find id with
-    | Some s -> Experiments.to_json ~id ~section:s.Experiments.section ~what:s.Experiments.what t
-    | None -> Experiments.to_json ~id t
+    let j =
+      match Experiments.find id with
+      | Some s -> Experiments.to_json ~id ~section:s.Experiments.section ~what:s.Experiments.what t
+      | None -> Experiments.to_json ~id t
+    in
+    (* Distribution data rides along in a field the checker never reads,
+       so baselines with and without it stay interchangeable. *)
+    match (List.assoc_opt id observability, j) with
+    | Some obs, Json.Obj fields ->
+        Json.Obj (fields @ [ ("observability", obs) ])
+    | _ -> j
   in
   Json.Obj
     ([ ("schema", Json.String schema); ("seed", Json.Int seed) ]

@@ -18,10 +18,17 @@ type doc = {
 }
 
 val doc_to_json :
-  ?tolerance:float -> seed:int -> (string * Experiments.table) list -> Json.t
+  ?tolerance:float ->
+  ?observability:(string * Json.t) list ->
+  seed:int ->
+  (string * Experiments.table) list ->
+  Json.t
 (** Build the results document.  Experiment ids found in
     {!Experiments.registry} carry their section/description along for
-    human readers of the JSON. *)
+    human readers of the JSON.  [observability] attaches per-experiment
+    trace documents (from {!Trace.observability_json}) under an
+    ["observability"] key the checker ignores, so traced and untraced
+    baselines stay interchangeable. *)
 
 val doc_of_json : Json.t -> (doc, string) result
 

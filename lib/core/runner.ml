@@ -7,14 +7,32 @@ let attempt ~seed f =
   | t -> Done t
   | exception e -> Failed (Printexc.to_string e)
 
-let default_jobs () =
-  match Unix.open_process_in "getconf _NPROCESSORS_ONLN 2>/dev/null" with
-  | exception _ -> 1
+(* The one place job-count bounds live: at least one worker, and no more
+   than [max_jobs] — forking beyond that wins nothing for a suite of a
+   few dozen experiments and risks fd exhaustion on big machines. *)
+let min_jobs = 1
+let max_jobs = 16
+let clamp_jobs n = max min_jobs (min n max_jobs)
+
+(* First line of [cmd]'s output parsed as a positive int, if any. *)
+let probe_int cmd =
+  match Unix.open_process_in (cmd ^ " 2>/dev/null") with
+  | exception _ -> None
   | ic -> (
       let line = try input_line ic with End_of_file -> "" in
       match (Unix.close_process_in ic, int_of_string_opt (String.trim line)) with
-      | _, Some n when n >= 1 -> min n 16
-      | _ -> 1)
+      | _, Some n when n >= 1 -> Some n
+      | _ -> None)
+
+let default_jobs () =
+  (* getconf is POSIX but absent from some minimal images; nproc is the
+     coreutils equivalent.  Either failing leaves us serial. *)
+  match probe_int "getconf _NPROCESSORS_ONLN" with
+  | Some n -> clamp_jobs n
+  | None -> (
+      match probe_int "nproc" with
+      | Some n -> clamp_jobs n
+      | None -> min_jobs)
 
 (* One pipe per worker; workers marshal each (index, id, outcome) as it
    completes and the parent drains the pipes to EOF in worker order.
@@ -64,7 +82,7 @@ let run_forked ~jobs ~seed indexed =
     indexed
 
 let run ?(jobs = 1) ?(seed = 42) selected =
-  let jobs = max 1 (min jobs (List.length selected)) in
+  let jobs = max min_jobs (min (clamp_jobs jobs) (List.length selected)) in
   if jobs <= 1 then
     List.map (fun (id, f) -> (id, attempt ~seed f)) selected
   else run_forked ~jobs ~seed (List.mapi (fun i x -> (i, x)) selected)

@@ -29,5 +29,15 @@ val run :
     [Failed]. *)
 
 val default_jobs : unit -> int
-(** Number of online cores (from [getconf _NPROCESSORS_ONLN]), clamped
-    to [1 .. 16]; 1 when it cannot be determined. *)
+(** Number of online cores, probed via [getconf _NPROCESSORS_ONLN] and
+    falling back to [nproc] when getconf is missing or unhelpful;
+    clamped to [min_jobs .. max_jobs]; [min_jobs] when neither probe
+    works. *)
+
+val min_jobs : int
+val max_jobs : int
+
+val clamp_jobs : int -> int
+(** Clamp a requested job count to [min_jobs .. max_jobs] — the single
+    authority on worker-count bounds ([run] additionally never forks
+    more workers than it has experiments). *)

@@ -43,6 +43,7 @@ let vsid_alloc t = t.k_vsid
 let pagepool t = t.k_pagepool
 let vfs t = t.k_vfs
 let rng t = t.k_rng
+let trace t = Memsys.trace t.k_memsys
 let cycles t = t.k_perf.Perf.cycles
 let us t = Cost.us_of_cycles ~mhz:t.k_machine.Machine.mhz (cycles t)
 let tasks t = t.k_tasks
@@ -234,10 +235,14 @@ let load_user_segments t mm =
 let context_reset t ~mm =
   t.k_perf.Perf.flush_context_resets <-
     t.k_perf.Perf.flush_context_resets + 1;
+  let old_ctx = Mm.ctx mm in
   let fresh =
-    Vsid_alloc.renew_context t.k_vsid ~old_ctx:(Mm.ctx mm) ~pid:(Mm.pid mm)
+    Vsid_alloc.renew_context t.k_vsid ~old_ctx ~pid:(Mm.pid mm)
   in
   Mm.set_ctx mm fresh;
+  let tr = trace t in
+  if Trace.enabled tr then
+    Trace.emit tr Trace.Flush_context ~a:old_ctx ~b:fresh;
   Memsys.instructions t.k_memsys 40;
   (* If this is the running address space the hardware registers must be
      updated too. *)
@@ -281,7 +286,10 @@ let standard_vmas ~text_pages ~data_pages ~stack_pages =
 let spawn t ?(text_pages = 16) ?(data_pages = 16) ?(stack_pages = 8) () =
   let pid = t.next_pid in
   t.next_pid <- t.next_pid + 1;
-  let mm = Mm.create ~physmem:t.k_physmem ~vsid_alloc:t.k_vsid ~pid in
+  let mm =
+    Mm.create ~trace:(trace t) ~physmem:t.k_physmem ~vsid_alloc:t.k_vsid ~pid
+      ()
+  in
   List.iter (Mm.add_vma mm) (standard_vmas ~text_pages ~data_pages ~stack_pages);
   let task = Task.create ~pid ~mm in
   t.k_tasks <- task :: t.k_tasks;
@@ -293,6 +301,7 @@ let framebuffer_rpn = framebuffer_phys_base lsr Addr.page_shift
 let framebuffer_bat_index = 2
 
 let switch_to t task =
+  let switch_start = t.k_perf.Perf.cycles in
   t.k_perf.Perf.context_switches <- t.k_perf.Perf.context_switches + 1;
   let fast = t.k_policy.Policy.fast_paths in
   let instrs = if fast then Kparams.switch_fast else Kparams.switch_slow in
@@ -333,7 +342,12 @@ let switch_to t task =
     done
   end;
   task.Task.state <- Task.Ready;
-  t.k_current <- Some task
+  t.k_current <- Some task;
+  let tr = trace t in
+  Trace.set_current_pid tr task.Task.pid;
+  if Trace.enabled tr then
+    Trace.emit_context_switch tr ~pid:task.Task.pid
+      ~cost:(t.k_perf.Perf.cycles - switch_start)
 
 let require_current t =
   match t.k_current with
@@ -419,10 +433,14 @@ let idle_slice t =
   Memsys.set_idle t.k_memsys false
 
 let idle_for t ~cycles:n =
-  let target = cycles t + n in
+  let start = cycles t in
+  let target = start + n in
   while cycles t < target do
     idle_slice t
-  done
+  done;
+  let tr = trace t in
+  if Trace.enabled tr then
+    Trace.emit_for tr Trace.Idle_window ~pid:0 ~a:0 ~b:(cycles t - start)
 
 (* Release one mapping's frame: page-cache/device frames are not ours;
    a copy-on-write frame is freed only by its last referent. *)
@@ -447,6 +465,10 @@ let charge_pt_update t pt ~ea =
 let handle_user_fault t kind ea =
   let task = require_current t in
   t.k_perf.Perf.page_faults <- t.k_perf.Perf.page_faults + 1;
+  let tr = trace t in
+  if Trace.enabled tr then
+    Trace.emit tr Trace.Page_fault ~a:ea
+      ~b:(match kind with Mmu.Fetch -> 0 | Mmu.Load -> 1 | Mmu.Store -> 2);
   run_path t ~off:Kparams.off_fault ~instrs:Kparams.fault_service
     ~data:(current_task_refs t);
   let mm = task.Task.mm in
@@ -644,7 +666,10 @@ let sys_fork t =
     ~data:(current_task_refs t);
   let pid = t.next_pid in
   t.next_pid <- t.next_pid + 1;
-  let cmm = Mm.create ~physmem:t.k_physmem ~vsid_alloc:t.k_vsid ~pid in
+  let cmm =
+    Mm.create ~trace:(trace t) ~physmem:t.k_physmem ~vsid_alloc:t.k_vsid ~pid
+      ()
+  in
   List.iter (fun vma -> Mm.add_vma cmm vma) (Mm.vmas pmm);
   let cpt = Mm.pagetable cmm in
   let ppt = Mm.pagetable pmm in

@@ -33,6 +33,11 @@ val boot : machine:Machine.t -> policy:Policy.t -> ?seed:int -> unit -> t
 val machine : t -> Machine.t
 val policy : t -> Policy.t
 val perf : t -> Perf.t
+
+val trace : t -> Trace.t
+(** The event trace attached to this kernel's memory system — shorthand
+    for [Memsys.trace (memsys t)]. *)
+
 val memsys : t -> Memsys.t
 val mmu : t -> Mmu.t
 val physmem : t -> Physmem.t

@@ -43,8 +43,16 @@ val framebuffer_base : Addr.ea
 (** [0x60000000]: where the frame-buffer aperture is mapped (its own
     segment, so a dedicated BAT or segment policy can target it). *)
 
-val create : physmem:Physmem.t -> vsid_alloc:Vsid_alloc.t -> pid:int -> t
-(** Allocates the pgd and issues a live context id. *)
+val create :
+  ?trace:Trace.t ->
+  physmem:Physmem.t ->
+  vsid_alloc:Vsid_alloc.t ->
+  pid:int ->
+  unit ->
+  t
+(** Allocates the pgd and issues a live context id.  When [trace] is
+    given, vma map/unmap events are emitted to it (only while tracing is
+    enabled). *)
 
 val pid : t -> int
 val ctx : t -> int

@@ -86,6 +86,10 @@ let idle_clear_one t =
             else
               (* control experiment: the work is done, then thrown away *)
               Physmem.free t.physmem rpn;
+            let tr = Memsys.trace t.memsys in
+            if Trace.enabled tr then
+              Trace.emit_for tr Trace.Idle_prezero ~pid:0 ~a:rpn
+                ~b:(if t.use_list then 1 else 0);
             true
       end
 

@@ -49,10 +49,16 @@ let run t =
         (match Kernel.current k with
         | Some cur when same_task cur e.task -> ()
         | Some _ | None -> Kernel.switch_to k e.task);
+        let tr = Kernel.trace k in
+        let traced = Ppc.Trace.enabled tr in
+        let slice_start = if traced then Kernel.cycles k else 0 in
         (match e.step k with
         | Yield -> ()
         | Sleep n -> e.wake_at <- Kernel.cycles k + n
         | Done -> e.finished <- true);
+        if traced then
+          Ppc.Trace.emit_for tr Ppc.Trace.Run_slice ~pid:e.task.Task.pid ~a:0
+            ~b:(Kernel.cycles k - slice_start);
         loop ()
     | [] -> begin
         match next_wake t with

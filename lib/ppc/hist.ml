@@ -1,0 +1,80 @@
+(* Log-bucketed histograms for latency-style quantities. *)
+
+let n_buckets = 63
+
+type t = {
+  mutable count : int;
+  mutable sum : int;
+  mutable max_value : int;
+  counts : int array;  (* counts.(i) = observations in bucket i *)
+}
+
+let create () =
+  { count = 0; sum = 0; max_value = 0; counts = Array.make n_buckets 0 }
+
+(* Bucket 0 holds v <= 0; bucket i >= 1 holds 2^(i-1) <= v < 2^i. *)
+let bucket_index v =
+  if v <= 0 then 0
+  else begin
+    let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+    min (n_buckets - 1) (bits v 0)
+  end
+
+let bucket_bounds i =
+  if i <= 0 then (0, 0) else (1 lsl (i - 1), (1 lsl i) - 1)
+
+let observe t v =
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v > t.max_value then t.max_value <- v;
+  let i = bucket_index v in
+  t.counts.(i) <- t.counts.(i) + 1
+
+let count t = t.count
+let sum t = t.sum
+let max_value t = t.max_value
+let is_empty t = t.count = 0
+let mean t = if t.count = 0 then 0. else float_of_int t.sum /. float_of_int t.count
+
+let buckets t =
+  let out = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if t.counts.(i) > 0 then begin
+      let lo, hi = bucket_bounds i in
+      out := (lo, hi, t.counts.(i)) :: !out
+    end
+  done;
+  !out
+
+let percentile t p =
+  if t.count = 0 then 0
+  else begin
+    let p = if p < 0. then 0. else if p > 1. then 1. else p in
+    let target = int_of_float (ceil (p *. float_of_int t.count)) in
+    let target = max 1 target in
+    let rec walk i seen =
+      if i >= n_buckets then t.max_value
+      else begin
+        let seen = seen + t.counts.(i) in
+        if seen >= target then
+          (* the top occupied bucket's bound can be tightened to the true
+             maximum, which it must contain *)
+          if i = bucket_index t.max_value then t.max_value
+          else snd (bucket_bounds i)
+        else walk (i + 1) seen
+      end
+    in
+    walk 0 0
+  end
+
+let merge ~into t =
+  into.count <- into.count + t.count;
+  into.sum <- into.sum + t.sum;
+  if t.max_value > into.max_value then into.max_value <- t.max_value;
+  Array.iteri (fun i n -> into.counts.(i) <- into.counts.(i) + n) t.counts
+
+let reset t =
+  t.count <- 0;
+  t.sum <- 0;
+  t.max_value <- 0;
+  Array.fill t.counts 0 n_buckets 0

@@ -1,0 +1,51 @@
+(** Log-bucketed histograms.
+
+    The trace layer charges distributions, not just totals: htab probe
+    lengths, TLB-miss service costs, context-switch costs.  A histogram
+    here is a fixed array of power-of-two buckets — bucket 0 holds
+    values [<= 0], bucket [i >= 1] holds [2^(i-1) .. 2^i - 1] — so
+    [observe] is allocation-free and cheap enough for hot-path use when
+    tracing is on. *)
+
+type t
+
+val create : unit -> t
+(** An empty histogram. *)
+
+val observe : t -> int -> unit
+(** Record one value.  No allocation. *)
+
+val count : t -> int
+(** Observations recorded. *)
+
+val sum : t -> int
+(** Sum of all observed values. *)
+
+val max_value : t -> int
+(** Largest value observed (0 when empty). *)
+
+val mean : t -> float
+(** Arithmetic mean (0 when empty). *)
+
+val is_empty : t -> bool
+
+val bucket_index : int -> int
+(** The bucket a value falls into: 0 for [v <= 0], else the bit-length
+    of [v]. *)
+
+val bucket_bounds : int -> int * int
+(** [(lo, hi)] inclusive bounds of bucket [i]: [(0, 0)] for bucket 0,
+    [(2^(i-1), 2^i - 1)] otherwise. *)
+
+val buckets : t -> (int * int * int) list
+(** Non-empty buckets in ascending order as [(lo, hi, count)]. *)
+
+val percentile : t -> float -> int
+(** [percentile t p] with [p] in [0..1]: the upper bound of the bucket
+    where the cumulative count reaches [p]; the true max for the last
+    bucket reached; 0 when empty. *)
+
+val merge : into:t -> t -> unit
+(** Add [t]'s buckets and totals into [into]. *)
+
+val reset : t -> unit

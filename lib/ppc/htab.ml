@@ -50,6 +50,15 @@ let search t ~vsid ~page_index ~on_ref =
       let s = hash2 t ~primary:p in
       search_pteg t ~pteg:s ~vsid ~page_index ~on_ref
 
+let search_counted t ~vsid ~page_index ~on_ref =
+  let n = ref 0 in
+  let on_ref pa =
+    incr n;
+    on_ref pa
+  in
+  let hit = search t ~vsid ~page_index ~on_ref in
+  (hit, !n)
+
 type replacement =
   | Arbitrary
   | Second_chance

@@ -41,6 +41,16 @@ val search :
     every PTE slot examined (matching hardware search order: a hit in slot
     [k] of the primary group costs [k+1] references). *)
 
+val search_counted :
+  t ->
+  vsid:int ->
+  page_index:int ->
+  on_ref:(Addr.pa -> unit) ->
+  Pte.t option * int
+(** [search] plus the number of PTE slots examined (the probe length the
+    trace layer charges to its histogram).  Reference behaviour is
+    identical: [on_ref] sees the same addresses in the same order. *)
+
 (** Victim selection when both PTEGs are full.
 
     - [Arbitrary] is the paper's shipped policy ("it chose an arbitrary

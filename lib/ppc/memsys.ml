@@ -1,6 +1,7 @@
 type t = {
   machine : Machine.t;
   perf : Perf.t;
+  trace : Trace.t;
   icache : Cache.t;
   dcache : Cache.t;
   mutable idle : bool;
@@ -9,6 +10,7 @@ type t = {
 let create ~machine ~perf =
   { machine;
     perf;
+    trace = Trace.create ~perf;
     icache =
       Cache.create ~bytes:machine.Machine.icache.Machine.cache_bytes
         ~ways:machine.Machine.icache.Machine.cache_ways;
@@ -19,6 +21,7 @@ let create ~machine ~perf =
 
 let machine t = t.machine
 let perf t = t.perf
+let trace t = t.trace
 let icache t = t.icache
 let dcache t = t.dcache
 
@@ -27,7 +30,11 @@ let in_idle t = t.idle
 
 let charge t cycles =
   t.perf.Perf.cycles <- t.perf.Perf.cycles + cycles;
-  if t.idle then t.perf.Perf.idle_cycles <- t.perf.Perf.idle_cycles + cycles
+  if t.idle then t.perf.Perf.idle_cycles <- t.perf.Perf.idle_cycles + cycles;
+  (* timeline sampler: [next_sample] is [max_int] unless armed, so the
+     untraced cost is this one compare *)
+  if t.perf.Perf.cycles >= t.trace.Trace.next_sample then
+    Trace.take_sample t.trace
 
 (* A write-back of a dirty victim is a posted store: it overlaps with
    execution, so we charge half the memory latency. *)

@@ -17,6 +17,12 @@ val create : machine:Machine.t -> perf:Perf.t -> t
 
 val machine : t -> Machine.t
 val perf : t -> Perf.t
+
+val trace : t -> Trace.t
+(** The machine's trace handle (disabled until [Trace.enable]).  Cycle
+    charges check its sampling deadline, so timeline samples land here
+    no matter which subsystem advanced the clock. *)
+
 val icache : t -> Cache.t
 val dcache : t -> Cache.t
 

@@ -89,6 +89,7 @@ let set_backing t backing = t.backing <- backing
 let set_vsid_is_zombie t f = t.is_zombie <- f
 
 let perf t = Memsys.perf t.memsys
+let trace t = Memsys.trace t.memsys
 
 (* --- cost-charging reference helpers ------------------------------- *)
 
@@ -167,22 +168,38 @@ let walk_and_fill t ~vsid ~ea ~page_index ~store =
               if t.knobs.htab_replacement = `Zombie_aware then
                 Memsys.instructions t.memsys Cost.zombie_check_instr;
               p.Perf.htab_evicts <- p.Perf.htab_evicts + 1;
-              if t.is_zombie victim.Pte.vsid then
+              let victim_zombie = t.is_zombie victim.Pte.vsid in
+              if victim_zombie then
                 p.Perf.htab_evicts_zombie <- p.Perf.htab_evicts_zombie + 1
-              else p.Perf.htab_evicts_live <- p.Perf.htab_evicts_live + 1));
+              else p.Perf.htab_evicts_live <- p.Perf.htab_evicts_live + 1;
+              let tr = trace t in
+              if Trace.enabled tr then
+                Trace.emit tr Trace.Htab_evict ~a:victim.Pte.vsid
+                  ~b:(if victim_zombie then 0 else 1)));
       Some (rpn, wimg, protection)
 
 let search_htab t h ~vsid ~page_index ~software =
   let p = perf t in
   p.Perf.htab_searches <- p.Perf.htab_searches + 1;
   let on_ref = if software then sw_htab_ref t else htab_ref t in
-  match Htab.search h ~vsid ~page_index ~on_ref with
+  let tr = trace t in
+  let hit, probe_len =
+    (* the counted variant drives the same references in the same order;
+       it only also reports the probe length for the histogram *)
+    if Trace.enabled tr then Htab.search_counted h ~vsid ~page_index ~on_ref
+    else (Htab.search h ~vsid ~page_index ~on_ref, 0)
+  in
+  match hit with
   | Some pte ->
       p.Perf.htab_hits <- p.Perf.htab_hits + 1;
+      if Trace.enabled tr then
+        Trace.emit_htab_probe tr ~len:probe_len ~hit:true;
       pte.Pte.referenced <- true;
       Some (pte.Pte.rpn, pte.Pte.wimg, pte.Pte.protection)
   | None ->
       p.Perf.htab_misses <- p.Perf.htab_misses + 1;
+      if Trace.enabled tr then
+        Trace.emit_htab_probe tr ~len:probe_len ~hit:false;
       None
 
 let reload t ~vsid ~ea ~store =
@@ -252,6 +269,8 @@ let access t kind ea =
   let bat = match kind with Fetch -> t.ibat | Load | Store -> t.dbat in
   match Bat.translate bat ea with
   | Some pa ->
+      let tr = trace t in
+      if Trace.enabled tr then Trace.emit tr Trace.Bat_hit ~a:ea ~b:0;
       final_ref t kind pa ~inhibited:false ~source;
       Ok pa
   | None -> begin
@@ -269,6 +288,15 @@ let access t kind ea =
           end
       | None -> begin
           count_miss t kind;
+          let tr = trace t in
+          let traced = Trace.enabled tr in
+          let miss_start = if traced then (perf t).Perf.cycles else 0 in
+          if traced then
+            Trace.emit tr
+              (match kind with
+              | Fetch -> Trace.Itlb_miss
+              | Load | Store -> Trace.Dtlb_miss)
+              ~a:ea ~b:0;
           match reload t ~vsid ~ea ~store:(kind = Store) with
           | None -> Fault
           | Some (rpn, wimg, protection) ->
@@ -278,7 +306,16 @@ let access t kind ea =
                   inhibited = wimg.Pte.cache_inhibited;
                   writable = protection = Pte.Read_write }
               in
-              Tlb.insert tlb entry;
+              if traced then begin
+                (match Tlb.insert_replacing tlb entry with
+                | None -> ()
+                | Some victim ->
+                    Trace.emit tr Trace.Tlb_evict ~a:victim.Tlb.vpn
+                      ~b:(Addr.vsid_of_vpn victim.Tlb.vpn));
+                Trace.emit_tlb_service tr ~ea
+                  ~cost:((perf t).Perf.cycles - miss_start)
+              end
+              else Tlb.insert tlb entry;
               if kind = Store && not entry.Tlb.writable then Fault
               else begin
                 let pa = Addr.pa_of ~rpn ~ea in
@@ -331,6 +368,8 @@ let tlbie_cycles = 4
 
 let flush_page_for_vsid t ~vsid ea =
   let vpn = Addr.vpn_of ~vsid ~ea in
+  let tr = trace t in
+  if Trace.enabled tr then Trace.emit tr Trace.Flush_page ~a:ea ~b:vsid;
   Memsys.stall t.memsys tlbie_cycles;
   Memsys.instructions t.memsys 6;
   Tlb.invalidate_page t.itlb vpn;
@@ -362,6 +401,9 @@ let reclaim_zombies t ~max_ptes =
       in
       let p = perf t in
       p.Perf.zombies_reclaimed <- p.Perf.zombies_reclaimed + reclaimed;
+      let tr = trace t in
+      if Trace.enabled tr then
+        Trace.emit_for tr Trace.Idle_reclaim ~pid:0 ~a:reclaimed ~b:max_ptes;
       reclaimed
 
 let kernel_tlb_entries t ~is_kernel_vsid =

@@ -161,6 +161,42 @@ let diff ~after ~before =
     get_free_page_calls =
       after.get_free_page_calls - before.get_free_page_calls }
 
+(* Every counter as (name, value), in declaration order.  The
+   exhaustiveness test checks this list against the record's arity, so a
+   counter added to the type but forgotten here (or in snapshot/diff/
+   reset) fails loudly instead of silently dropping out of timelines. *)
+let fields t =
+  [ ("cycles", t.cycles);
+    ("idle_cycles", t.idle_cycles);
+    ("instructions", t.instructions);
+    ("mem_refs", t.mem_refs);
+    ("itlb_lookups", t.itlb_lookups);
+    ("itlb_misses", t.itlb_misses);
+    ("dtlb_lookups", t.dtlb_lookups);
+    ("dtlb_misses", t.dtlb_misses);
+    ("htab_searches", t.htab_searches);
+    ("htab_hits", t.htab_hits);
+    ("htab_misses", t.htab_misses);
+    ("htab_reloads", t.htab_reloads);
+    ("htab_evicts", t.htab_evicts);
+    ("htab_evicts_live", t.htab_evicts_live);
+    ("htab_evicts_zombie", t.htab_evicts_zombie);
+    ("icache_accesses", t.icache_accesses);
+    ("icache_misses", t.icache_misses);
+    ("dcache_accesses", t.dcache_accesses);
+    ("dcache_misses", t.dcache_misses);
+    ("dcache_bypasses", t.dcache_bypasses);
+    ("dcache_writebacks", t.dcache_writebacks);
+    ("page_faults", t.page_faults);
+    ("flush_pte_searches", t.flush_pte_searches);
+    ("flush_context_resets", t.flush_context_resets);
+    ("context_switches", t.context_switches);
+    ("syscalls", t.syscalls);
+    ("zombies_reclaimed", t.zombies_reclaimed);
+    ("pages_cleared_idle", t.pages_cleared_idle);
+    ("prezeroed_hits", t.prezeroed_hits);
+    ("get_free_page_calls", t.get_free_page_calls) ]
+
 let tlb_misses t = t.itlb_misses + t.dtlb_misses
 let tlb_lookups t = t.itlb_lookups + t.dtlb_lookups
 let cache_misses t = t.icache_misses + t.dcache_misses

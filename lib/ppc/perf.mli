@@ -59,6 +59,11 @@ val diff : after:t -> before:t -> t
 (** [diff ~after ~before] subtracts counter-wise; the events of the region
     between the two snapshots. *)
 
+val fields : t -> (string * int) list
+(** Every counter as [(name, value)] in declaration order — the
+    reflection the timeline exporter and the exhaustiveness tests use.
+    Must list exactly the record's fields. *)
+
 val tlb_misses : t -> int
 (** Instruction + data TLB misses. *)
 

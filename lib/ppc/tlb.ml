@@ -55,7 +55,7 @@ let peek t vpn =
   in
   loop 0
 
-let insert t e =
+let insert_replacing t e =
   let base = set_of t e.vpn * t.n_ways in
   (* Prefer: same-VPN slot (update), then an invalid way, else LRU. *)
   let victim = ref (-1) in
@@ -72,9 +72,17 @@ let insert t e =
     end
   done;
   let w = if !victim >= 0 then !victim else !lru_way in
+  let displaced =
+    match t.slots.(base + w) with
+    | Some old when old.vpn <> e.vpn -> Some old
+    | Some _ | None -> None
+  in
   t.tick <- t.tick + 1;
   t.slots.(base + w) <- Some e;
-  t.stamps.(base + w) <- t.tick
+  t.stamps.(base + w) <- t.tick;
+  displaced
+
+let insert t e = ignore (insert_replacing t e : entry option)
 
 let invalidate_page t vpn =
   let base = set_of t vpn * t.n_ways in

@@ -41,6 +41,12 @@ val insert : t -> entry -> unit
 (** [insert t e] fills an invalid way of the set, or replaces the LRU
     way. *)
 
+val insert_replacing : t -> entry -> entry option
+(** [insert] that also reports the live entry it displaced, if any —
+    [None] when an invalid way was filled or a same-VPN entry updated in
+    place.  The trace layer turns the victim into a TLB-eviction event
+    ("which task evicted whom"). *)
+
 val invalidate_page : t -> Addr.vpn -> unit
 (** [invalidate_page t vpn] drops the entry for [vpn] if present — the
     [tlbie] instruction. *)

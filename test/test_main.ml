@@ -11,6 +11,7 @@ let () =
       ("cache", Test_cache.suite);
       ("htab", Test_htab.suite);
       ("perf", Test_perf.suite);
+      ("trace", Test_trace.suite);
       ("machine-cost", Test_machine.suite);
       ("memsys", Test_memsys.suite);
       ("mmu", Test_mmu.suite);

@@ -7,7 +7,7 @@ module V = Kernel_sim.Vsid_alloc
 let mk () =
   let pm = Physmem.create ~ram_bytes:(8 * 1024 * 1024) ~reserved_bytes:4096 in
   let v = V.create ~source:V.Context_counter ~multiplier:897 in
-  (Mm.create ~physmem:pm ~vsid_alloc:v ~pid:1, pm, v)
+  (Mm.create ~physmem:pm ~vsid_alloc:v ~pid:1 (), pm, v)
 
 let vma ?(writable = true) start pages =
   { Mm.va_start = start; va_pages = pages; va_writable = writable;
@@ -94,7 +94,7 @@ let test_destroy () =
   let pm = Physmem.create ~ram_bytes:(8 * 1024 * 1024) ~reserved_bytes:4096 in
   let v = V.create ~source:V.Context_counter ~multiplier:897 in
   let before = Physmem.free_frames pm in
-  let mm = Mm.create ~physmem:pm ~vsid_alloc:v ~pid:1 in
+  let mm = Mm.create ~physmem:pm ~vsid_alloc:v ~pid:1 () in
   let pt = Mm.pagetable mm in
   let frame = Option.get (Physmem.alloc pm) in
   Kernel_sim.Pagetable.map pt ~physmem:pm ~ea:0x01800000

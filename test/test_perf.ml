@@ -41,6 +41,67 @@ let test_busy_cycles () =
   p.Perf.idle_cycles <- 30;
   Alcotest.(check int) "busy" 70 (Perf.busy_cycles p)
 
+(* --- exhaustiveness guard ---------------------------------------------
+   Perf.t is a flat record of int counters, so its field count is visible
+   to Obj; [fields] (and through it snapshot/diff/reset and the timeline
+   exporter) must cover every one.  Adding a counter without extending
+   [fields] fails here. *)
+
+let n_counters = Obj.size (Obj.repr (Perf.create ()))
+
+(* Give every field a distinct nonzero value, bypassing the accessors. *)
+let fill_distinct p =
+  let r = Obj.repr p in
+  for i = 0 to n_counters - 1 do
+    Obj.set_field r i (Obj.repr (i + 1))
+  done
+
+let test_fields_exhaustive () =
+  let p = Perf.create () in
+  Alcotest.(check int)
+    "fields lists every counter" n_counters
+    (List.length (Perf.fields p));
+  let names = List.map fst (Perf.fields p) in
+  Alcotest.(check int)
+    "field names unique" n_counters
+    (List.length (List.sort_uniq compare names))
+
+let test_fields_read_all () =
+  let p = Perf.create () in
+  fill_distinct p;
+  let values = List.map snd (Perf.fields p) in
+  Alcotest.(check int)
+    "fields values all distinct (each reads its own counter)" n_counters
+    (List.length (List.sort_uniq compare values));
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool) (name ^ " read back nonzero") true (v > 0))
+    (Perf.fields p)
+
+let test_snapshot_covers_all () =
+  let p = Perf.create () in
+  fill_distinct p;
+  let s = Perf.snapshot p in
+  List.iter2
+    (fun (name, a) (_, b) -> Alcotest.(check int) ("snapshot " ^ name) a b)
+    (Perf.fields p) (Perf.fields s)
+
+let test_diff_self_zero () =
+  let p = Perf.create () in
+  fill_distinct p;
+  let d = Perf.diff ~after:p ~before:p in
+  List.iter
+    (fun (name, v) -> Alcotest.(check int) ("diff self " ^ name) 0 v)
+    (Perf.fields d)
+
+let test_reset_covers_all () =
+  let p = Perf.create () in
+  fill_distinct p;
+  Perf.reset p;
+  List.iter
+    (fun (name, v) -> Alcotest.(check int) ("reset " ^ name) 0 v)
+    (Perf.fields p)
+
 let test_pp_no_crash () =
   let p = Perf.create () in
   p.Perf.cycles <- 123;
@@ -54,4 +115,12 @@ let suite =
     Alcotest.test_case "snapshot is a copy" `Quick test_snapshot_is_copy;
     Alcotest.test_case "reset" `Quick test_reset;
     Alcotest.test_case "busy cycles" `Quick test_busy_cycles;
+    Alcotest.test_case "fields exhaustive" `Quick test_fields_exhaustive;
+    Alcotest.test_case "fields read every counter" `Quick test_fields_read_all;
+    Alcotest.test_case "snapshot covers every counter" `Quick
+      test_snapshot_covers_all;
+    Alcotest.test_case "diff with self is all zeros" `Quick
+      test_diff_self_zero;
+    Alcotest.test_case "reset covers every counter" `Quick
+      test_reset_covers_all;
     Alcotest.test_case "pretty printer" `Quick test_pp_no_crash ]
