@@ -127,10 +127,12 @@ let () =
   let results = Mmu_tricks.Runner.run ~jobs ~seed chosen in
   let tables =
     List.filter_map
-      (function
-        | id, Mmu_tricks.Runner.Done t -> Some (id, t)
-        | id, Mmu_tricks.Runner.Failed m ->
-            Printf.eprintf "bench: %s failed: %s\n" id m;
+      (fun (id, outcome) ->
+        match Mmu_tricks.Runner.table_of_outcome outcome with
+        | Some t -> Some (id, t)
+        | None ->
+            Printf.eprintf "bench: %s: %s\n" id
+              (Mmu_tricks.Runner.describe outcome);
             None)
       results
   in

@@ -190,7 +190,8 @@ let trace_run machine policy seed workload out sample_every ring summarize =
 
 (* --- experiment runs --------------------------------------------------- *)
 
-let experiment names seed jobs csv json out traced timeline sample_every =
+let experiment names seed jobs timeout retries strict csv json out traced
+    timeline sample_every =
   let tracing = traced || timeline in
   if out <> None && not (csv || json) then
     Error (`Msg "--out requires --json or --csv")
@@ -208,7 +209,7 @@ let experiment names seed jobs csv json out traced timeline sample_every =
       List.map (fun s -> (s.Experiments.id, s.Experiments.run)) specs
     in
     let results, observability =
-      if not tracing then (Runner.run ~jobs ~seed selected, [])
+      if not tracing then (Runner.run ~jobs ~seed ~timeout ~retries selected, [])
       else begin
         (* Experiments boot their own kernels, unreachable from here:
            arm tracing process-wide and collect per experiment.  Forked
@@ -220,7 +221,9 @@ let experiment names seed jobs csv json out traced timeline sample_every =
         let acc =
           List.map
             (fun (id, f) ->
-              let r = List.hd (Runner.run ~jobs:1 ~seed [ (id, f) ]) in
+              let r =
+                List.hd (Runner.run ~jobs:1 ~seed ~timeout ~retries [ (id, f) ])
+              in
               let traces = Trace.drain_registered () in
               (r, (id, Trace_export.observability_json traces)))
             selected
@@ -232,18 +235,31 @@ let experiment names seed jobs csv json out traced timeline sample_every =
     in
     let tables =
       List.filter_map
-        (function id, Runner.Done t -> Some (id, t) | _, Runner.Failed _ -> None)
+        (fun (id, o) ->
+          Option.map (fun t -> (id, t)) (Runner.table_of_outcome o))
+        results
+    in
+    (* hard failures never produced a table; degraded ones did, but only
+       after the supervisor intervened (retries) *)
+    let hard =
+      List.filter (fun (_, o) -> Runner.table_of_outcome o = None) results
+    in
+    let degraded =
+      List.filter
+        (fun (_, o) ->
+          match o with
+          | Runner.Retried _ -> Runner.table_of_outcome o <> None
+          | _ -> false)
         results
     in
     let failures =
-      List.filter_map
-        (function id, Runner.Failed m -> Some (id, m) | _, Runner.Done _ -> None)
-        results
+      List.map (fun (id, o) -> (id, Runner.describe o)) hard
     in
     let emit oc =
       if json then
         output_string oc
-          (Json.to_string (Baseline.doc_to_json ~observability ~seed tables)
+          (Json.to_string
+             (Baseline.doc_to_json ~observability ~failures ~seed tables)
           ^ "\n")
       else if csv then
         List.iter
@@ -255,16 +271,35 @@ let experiment names seed jobs csv json out traced timeline sample_every =
     | None ->
         if csv || json then emit stdout
         else List.iter (fun (_, t) -> Experiments.print t) tables);
-    match failures with
-    | [] -> Ok ()
-    | fs ->
-        Error
-          (`Msg
-            (String.concat "; "
-               (List.map (fun (id, m) -> id ^ " failed: " ^ m) fs)))
+    (* the failure table goes to stderr so --json/--csv stdout stays a
+       clean document *)
+    let unclean = hard @ degraded in
+    if unclean <> [] then begin
+      Printf.eprintf "\n%d of %d experiment(s) did not complete cleanly:\n"
+        (List.length unclean) (List.length results);
+      Printf.eprintf "  %-6s %s\n" "id" "status";
+      List.iter
+        (fun (id, o) -> Printf.eprintf "  %-6s %s\n" id (Runner.describe o))
+        unclean;
+      flush stderr
+    end;
+    if hard <> [] then
+      Error
+        (`Msg
+          (String.concat "; "
+             (List.map
+                (fun (id, o) -> id ^ ": " ^ Runner.describe o)
+                hard)))
+    else if strict && degraded <> [] then
+      Error
+        (`Msg
+          (Printf.sprintf
+             "--strict: %d experiment(s) needed supervision (see table above)"
+             (List.length degraded)))
+    else Ok ()
   end
 
-let check baseline_file jobs tolerance =
+let check baseline_file jobs timeout retries tolerance =
   match Baseline.load baseline_file with
   | Error msg -> Error (`Msg msg)
   | Ok doc ->
@@ -283,18 +318,18 @@ let check baseline_file jobs tolerance =
       Printf.printf "checking %d experiments against %s (seed %d, %d jobs)\n\n"
         (List.length selected) baseline_file seed jobs;
       flush stdout;
-      let results = Runner.run ~jobs ~seed selected in
+      let results = Runner.run ~jobs ~seed ~timeout ~retries selected in
       let checks =
         List.map2
           (fun (id, btable) (_, outcome) ->
             let tol = Baseline.tolerance_for ~default:tolerance doc id in
-            match outcome with
-            | Runner.Done t ->
+            match Runner.table_of_outcome outcome with
+            | Some t ->
                 ( Baseline.check_table ~id ~tol ~baseline:btable ~current:t,
                   tol )
-            | Runner.Failed m ->
+            | None ->
                 ( { Baseline.c_id = id; c_ok = false; c_numbers = 0;
-                    c_max_rel = 0.0; c_detail = Some ("raised: " ^ m) },
+                    c_max_rel = 0.0; c_detail = Some (Runner.describe outcome) },
                   tol ))
           known results
         @ List.map
@@ -425,6 +460,23 @@ let jobs_term =
               results are merged in registry order, byte-identical to a \
               serial run).")
 
+let timeout_term =
+  Arg.(
+    value & opt float 0.
+    & info [ "timeout" ] ~docv:"SECS"
+        ~doc:"Per-experiment wall-clock budget in seconds (0 disables). A \
+              forked worker that goes this long without delivering a \
+              result is killed and the hung experiment reported as timed \
+              out; serial runs abort the attempt via SIGALRM.")
+
+let retries_term =
+  Arg.(
+    value & opt int Runner.default_retries
+    & info [ "retries" ] ~docv:"N"
+        ~doc:"Retry budget for experiments lost to a crashed, hung or \
+              corrupt worker: re-forked first, run serially in-parent on \
+              the final attempt.")
+
 let sample_every_term =
   Arg.(
     value & opt int 100_000
@@ -513,13 +565,35 @@ let experiment_cmd =
                 embed the timelines in the --json document (implies the \
                 tracing machinery; forces serial execution).")
   in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Exit nonzero unless every experiment completed cleanly on \
+                its first attempt — a run that only succeeded after the \
+                supervisor retried lost experiments counts as a failure.")
+  in
   Cmd.v
     (Cmd.info "experiment"
-       ~doc:"Run reproduction experiments (tables printed with paper values).")
+       ~doc:"Run reproduction experiments (tables printed with paper values)."
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "Experiments run under a supervising parent: worker exit \
+              statuses are inspected, experiments lost to a crashed or \
+              hung worker are retried within --retries, and every attempt \
+              is bounded by --timeout. Experiments that never produce a \
+              table are listed in a failure table on stderr (and under a \
+              \"failures\" key in the --json document) and make the exit \
+              status nonzero; --strict also fails runs that needed \
+              retries. $(b,MMU_SIM_FAULT)=kill:<id>|exit:<id>[:n]|\
+              raise:<id>|hang:<id> injects deterministic faults for \
+              testing the supervision paths." ])
     Term.(
       term_result
-        (const experiment $ names $ seed_term $ jobs_term $ csv $ json $ out
-        $ traced $ timeline $ sample_every_term))
+        (const experiment $ names $ seed_term $ jobs_term $ timeout_term
+        $ retries_term $ strict $ csv $ json $ out $ traced $ timeline
+        $ sample_every_term))
 
 let check_cmd =
   let baseline =
@@ -549,7 +623,10 @@ let check_cmd =
               within a relative tolerance. The experiments are \
               deterministic per seed, so any drift is a real behaviour \
               change." ])
-    Term.(term_result (const check $ baseline $ jobs_term $ tolerance))
+    Term.(
+      term_result
+        (const check $ baseline $ jobs_term $ timeout_term $ retries_term
+        $ tolerance))
 
 let policies_cmd =
   Cmd.v

@@ -7,7 +7,7 @@ type doc = {
 
 let schema = "mmu-tricks/results-v1"
 
-let doc_to_json ?tolerance ?(observability = []) ~seed entries =
+let doc_to_json ?tolerance ?(observability = []) ?(failures = []) ~seed entries =
   let entry (id, t) =
     let j =
       match Experiments.find id with
@@ -26,7 +26,21 @@ let doc_to_json ?tolerance ?(observability = []) ~seed entries =
     @ (match tolerance with
       | Some tol -> [ ("tolerance", Json.Float tol) ]
       | None -> [])
-    @ [ ("experiments", Json.List (List.map entry entries)) ])
+    @ [ ("experiments", Json.List (List.map entry entries)) ]
+    (* Emitted only when non-empty: a clean run's document is
+       byte-identical whether or not the runner supervises failures. *)
+    @
+    match failures with
+    | [] -> []
+    | fs ->
+        [ ( "failures",
+            Json.List
+              (List.map
+                 (fun (id, detail) ->
+                   Json.Obj
+                     [ ("id", Json.String id);
+                       ("detail", Json.String detail) ])
+                 fs) ) ])
 
 let doc_of_json j =
   let ( let* ) r f = Result.bind r f in

@@ -20,6 +20,7 @@ type doc = {
 val doc_to_json :
   ?tolerance:float ->
   ?observability:(string * Json.t) list ->
+  ?failures:(string * string) list ->
   seed:int ->
   (string * Experiments.table) list ->
   Json.t
@@ -28,7 +29,11 @@ val doc_to_json :
     human readers of the JSON.  [observability] attaches per-experiment
     trace documents (from {!Trace.observability_json}) under an
     ["observability"] key the checker ignores, so traced and untraced
-    baselines stay interchangeable. *)
+    baselines stay interchangeable.  [failures] records experiments
+    that produced no table (id, human-readable detail from
+    {!Runner.describe}) under a ["failures"] key, emitted only when
+    non-empty — a fully clean run's document is byte-identical with or
+    without supervision. *)
 
 val doc_of_json : Json.t -> (doc, string) result
 

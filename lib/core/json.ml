@@ -28,9 +28,10 @@ let escape_string buf s =
   Buffer.add_char buf '"'
 
 (* Floats must survive a round trip; %.17g is exact for doubles but
-   ugly, so take the shortest of %.12g/%.17g that reparses equal. *)
+   ugly, so take the shortest of %.12g/%.17g that reparses equal.
+   JSON has no NaN or infinity tokens, so all three become null. *)
 let float_repr f =
-  if Float.is_nan f then "null"
+  if not (Float.is_finite f) then "null"
   else if Float.is_integer f && Float.abs f < 1e15 then
     Printf.sprintf "%.1f" f
   else
@@ -110,17 +111,55 @@ let of_string s =
       Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
       Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
     end
-    else begin
+    else if cp < 0x10000 then begin
       Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
       Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
       Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
     end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
   in
+  (* Strictly the 4 hex digits: int_of_string on "0x…" would also accept
+     OCaml's underscores and signs, which are not JSON. *)
   let parse_hex4 () =
     if !pos + 4 > n then fail "truncated \\u escape";
-    let h = int_of_string ("0x" ^ String.sub s !pos 4) in
+    let h = ref 0 in
+    for k = 0 to 3 do
+      let d =
+        match s.[!pos + k] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | _ -> fail "bad \\u escape"
+      in
+      h := (!h lsl 4) lor d
+    done;
     pos := !pos + 4;
-    h
+    !h
+  in
+  (* A \u escape, possibly the high half of a UTF-16 surrogate pair:
+     combine pairs into one code point (4-byte UTF-8), reject unpaired
+     halves rather than emit CESU-8/invalid UTF-8. *)
+  let parse_unicode_escape buf =
+    let cp = parse_hex4 () in
+    if cp >= 0xD800 && cp <= 0xDBFF then begin
+      if !pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u' then begin
+        pos := !pos + 2;
+        let lo = parse_hex4 () in
+        if lo >= 0xDC00 && lo <= 0xDFFF then
+          utf8_encode buf
+            (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+        else fail "unpaired high surrogate in \\u escape"
+      end
+      else fail "unpaired high surrogate in \\u escape"
+    end
+    else if cp >= 0xDC00 && cp <= 0xDFFF then
+      fail "unpaired low surrogate in \\u escape"
+    else utf8_encode buf cp
   in
   let parse_string () =
     expect '"';
@@ -141,16 +180,42 @@ let of_string s =
            | 't' -> advance (); Buffer.add_char buf '\t'
            | 'b' -> advance (); Buffer.add_char buf '\b'
            | 'f' -> advance (); Buffer.add_char buf '\012'
-           | 'u' ->
-               advance ();
-               (try utf8_encode buf (parse_hex4 ())
-                with Failure _ -> fail "bad \\u escape")
+           | 'u' -> advance (); parse_unicode_escape buf
            | c -> fail (Printf.sprintf "bad escape \\%C" c)));
           loop ()
       | c when Char.code c < 0x20 -> fail "raw control char in string"
       | c -> advance (); Buffer.add_char buf c; loop ()
     in
     loop ()
+  in
+  (* The RFC 8259 number grammar: an optional minus, "0" or a non-zero
+     digit run, an optional ".digits" fraction, an optional exponent.
+     OCaml's conversion functions are laxer (leading '+', lone '-',
+     leading-zero ints, hex), so validate the token before converting. *)
+  let valid_number tok =
+    let len = String.length tok in
+    let i = ref 0 in
+    let digit c = c >= '0' && c <= '9' in
+    let digits () =
+      let start = !i in
+      while !i < len && digit tok.[!i] do incr i done;
+      !i > start
+    in
+    let ok = ref true in
+    if !i < len && tok.[!i] = '-' then incr i;
+    (if !i >= len then ok := false
+     else if tok.[!i] = '0' then incr i
+     else if not (digits ()) then ok := false);
+    if !ok && !i < len && tok.[!i] = '.' then begin
+      incr i;
+      if not (digits ()) then ok := false
+    end;
+    if !ok && !i < len && (tok.[!i] = 'e' || tok.[!i] = 'E') then begin
+      incr i;
+      if !i < len && (tok.[!i] = '+' || tok.[!i] = '-') then incr i;
+      if not (digits ()) then ok := false
+    end;
+    !ok && !i = len
   in
   let parse_number () =
     let start = !pos in
@@ -161,6 +226,7 @@ let of_string s =
     in
     while !pos < n && is_num_char s.[!pos] do advance () done;
     let tok = String.sub s start (!pos - start) in
+    if not (valid_number tok) then fail ("bad number " ^ tok);
     if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok then
       match float_of_string_opt tok with
       | Some f -> Float f

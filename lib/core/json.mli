@@ -19,12 +19,16 @@ type t =
 val to_string : ?compact:bool -> t -> string
 (** Serialize.  Default is pretty-printed (2-space indent, one key or
     element per line) so committed baselines diff well; [~compact:true]
-    emits a single line. *)
+    emits a single line.  Non-finite floats (NaN and the infinities)
+    have no JSON token and are emitted as [null]. *)
 
 val of_string : string -> (t, string) result
 (** Parse a complete JSON document.  [Error msg] carries a byte offset.
-    Numbers without [.]/[e] that fit in [int] parse as [Int], everything
-    else as [Float]; [\uXXXX] escapes are decoded to UTF-8. *)
+    Numbers are validated against the RFC 8259 grammar (no leading [+],
+    no leading-zero integers); those without [.]/[e] that fit in [int]
+    parse as [Int], everything else as [Float].  [\uXXXX] escapes are
+    decoded to UTF-8, with UTF-16 surrogate pairs combined into a
+    single code point; unpaired surrogates are rejected. *)
 
 (** {1 Accessors} — total, option-returning *)
 

@@ -119,6 +119,63 @@ let test_json_numbers () =
   | Ok _ -> Alcotest.fail "wrong shape"
   | Error e -> Alcotest.fail e
 
+let test_json_nonfinite_floats () =
+  (* JSON has no inf/nan tokens: all three serialize as null, and the
+     document round-trips (to Null) instead of failing to reparse *)
+  List.iter
+    (fun f ->
+      Alcotest.(check string)
+        (Printf.sprintf "%h emits null" f)
+        "null"
+        (Json.to_string ~compact:true (Json.Float f)))
+    [ infinity; neg_infinity; nan ];
+  let doc = Json.Obj [ ("v", Json.Float infinity); ("w", Json.Float nan) ] in
+  match Json.of_string (Json.to_string doc) with
+  | Ok j ->
+      Alcotest.(check bool) "inf round-trips to null" true
+        (Json.member "v" j = Some Json.Null
+        && Json.member "w" j = Some Json.Null)
+  | Error e -> Alcotest.fail e
+
+let test_json_unicode_escapes () =
+  (* strict hex: OCaml's underscore-tolerant int_of_string must not
+     leak through *)
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.fail ("accepted bad \\u escape: " ^ s)
+      | Error _ -> ())
+    [ {|"\u12_3"|}; {|"\u00G1"|}; {|"\u+123"|}; {|"\ud800"|}; {|"\udc00"|};
+      {|"\ud83dx"|}; {|"\ud83dA"|} ];
+  (match Json.of_string {|"\u0041\u00e9\u2603"|} with
+  | Ok (Json.String s) ->
+      Alcotest.(check string) "BMP escapes decode" "A\xc3\xa9\xe2\x98\x83" s
+  | _ -> Alcotest.fail "BMP escapes rejected");
+  (* a surrogate pair combines into one 4-byte UTF-8 code point, not
+     two 3-byte CESU-8 halves *)
+  match Json.of_string {|"\ud83d\ude00"|} with
+  | Ok (Json.String s) ->
+      Alcotest.(check string) "surrogate pair is U+1F600" "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "surrogate pair rejected"
+
+let test_json_number_grammar () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.fail ("accepted bad number: " ^ s)
+      | Error _ -> ())
+    [ "+1"; "-"; "01"; "-01"; "007"; "1."; "-2.e3"; "1e"; "1e+"; "0x10";
+      "1_000"; "--1" ];
+  List.iter
+    (fun (s, expect) ->
+      match Json.of_string s with
+      | Ok v ->
+          Alcotest.(check (option (float 1e-12))) ("accepts " ^ s) (Some expect)
+            (Json.to_float_opt v)
+      | Error e -> Alcotest.fail (s ^ ": " ^ e))
+    [ ("0", 0.0); ("-0", 0.0); ("0.5", 0.5); ("10", 10.0); ("1e5", 1e5);
+      ("-0.25e-2", -0.0025); ("2E+3", 2000.0) ]
+
 let test_table_json_roundtrip () =
   let t =
     mk_table ~title:"T — with, punctuation\"" ~notes:[ "note 1"; "note 2" ]
@@ -236,7 +293,7 @@ let test_runner_serial_equals_parallel () =
   match List.assoc "W3" serial with
   | Runner.Done t ->
       Alcotest.(check string) "seed plumbed" "W3 seed 9" t.Experiments.title
-  | Runner.Failed m -> Alcotest.fail m
+  | o -> Alcotest.fail (Runner.describe o)
 
 let test_runner_failure_isolation () =
   let boom : string * (?seed:int -> unit -> Experiments.table) =
@@ -266,6 +323,110 @@ let test_runner_real_experiment () =
   | [ (_, Runner.Done a) ], (_, Runner.Done b) :: _ ->
       Alcotest.(check bool) "forked result identical" true (a = b)
   | _ -> Alcotest.fail "experiment failed"
+
+(* --------------------------------------------------------- supervision *)
+
+let with_fault spec f =
+  Unix.putenv Runner.fault_env spec;
+  Fun.protect ~finally:(fun () -> Unix.putenv Runner.fault_env "") f
+
+let tables_of results =
+  List.map (fun (id, o) -> (id, Runner.table_of_outcome o)) results
+
+(* One worker _exit(3)s mid-slice and another is SIGKILLed mid-slice;
+   the supervisor must retry the lost experiments and converge on
+   results byte-identical to a serial run at the same seed. *)
+let test_runner_worker_death_retried () =
+  let work =
+    List.init 8 (fun i ->
+        fake (Printf.sprintf "W%d" i) [ [ string_of_int i; "x" ] ])
+  in
+  let serial = Runner.run ~jobs:1 ~seed:11 work in
+  with_fault "exit:W2:3,kill:W5" (fun () ->
+      let par = Runner.run ~jobs:3 ~seed:11 work in
+      Alcotest.(check bool)
+        "retried tables byte-identical to serial" true
+        (tables_of par = tables_of serial);
+      (* the injected victims were recovered via the retry ladder *)
+      List.iter
+        (fun id ->
+          match List.assoc id par with
+          | Runner.Retried (n, Runner.Done _) ->
+              Alcotest.(check bool) (id ^ " retry count positive") true (n >= 1)
+          | o -> Alcotest.fail (id ^ ": " ^ Runner.describe o))
+        [ "W2"; "W5" ];
+      (* untouched experiments were not retried *)
+      match List.assoc "W0" par with
+      | Runner.Done _ -> ()
+      | o -> Alcotest.fail ("W0: " ^ Runner.describe o))
+
+(* With the retry budget at 0, the waitpid status must surface as a
+   structured Crashed outcome instead of a generic failure string. *)
+let test_runner_crash_surfaces_status () =
+  let work = List.init 4 (fun i -> fake (Printf.sprintf "C%d" i) [ [ "v" ] ]) in
+  (* jobs=2 deals round-robin: C0,C2 to worker 0 and C1,C3 to worker 1,
+     so the two faults land on different workers *)
+  with_fault "kill:C1,exit:C2:7" (fun () ->
+      let r = Runner.run ~jobs:2 ~retries:0 ~seed:5 work in
+      (match List.assoc "C1" r with
+      | Runner.Crashed (Runner.Signaled s) ->
+          Alcotest.(check bool) "killed by SIGKILL" true (s = Sys.sigkill)
+      | o -> Alcotest.fail ("C1: " ^ Runner.describe o));
+      match List.assoc "C2" r with
+      | Runner.Crashed (Runner.Exited 7) -> ()
+      | o -> Alcotest.fail ("C2: " ^ Runner.describe o))
+
+(* A hung worker is cut off by the deadline; the hung experiment is
+   retried (fault disarmed) and still matches the serial run. *)
+let test_runner_hang_timeout_retried () =
+  let work = List.init 4 (fun i -> fake (Printf.sprintf "H%d" i) [ [ "v" ] ]) in
+  let serial = Runner.run ~jobs:1 ~seed:8 work in
+  with_fault "hang:H1" (fun () ->
+      let par = Runner.run ~jobs:2 ~timeout:0.4 ~seed:8 work in
+      Alcotest.(check bool)
+        "tables identical after timeout recovery" true
+        (tables_of par = tables_of serial);
+      match List.assoc "H1" par with
+      | Runner.Retried (_, Runner.Done _) -> ()
+      | o -> Alcotest.fail ("H1: " ^ Runner.describe o))
+
+(* No retries: the hang must surface as Timed_out, and an in-process
+   (jobs=1) hang must be cut off by SIGALRM the same way. *)
+let test_runner_timeout_surfaces () =
+  let work = List.init 2 (fun i -> fake (Printf.sprintf "T%d" i) [ [ "v" ] ]) in
+  with_fault "hang:T0" (fun () ->
+      (match List.assoc "T0" (Runner.run ~jobs:2 ~timeout:0.3 ~retries:0 ~seed:2 work) with
+      | Runner.Timed_out t ->
+          Alcotest.(check (float 1e-9)) "budget reported" 0.3 t
+      | o -> Alcotest.fail ("forked: " ^ Runner.describe o)));
+  with_fault "hang:T0" (fun () ->
+      match List.assoc "T0" (Runner.run ~jobs:1 ~timeout:0.3 ~retries:0 ~seed:2 work) with
+      | Runner.Timed_out _ -> ()
+      | o -> Alcotest.fail ("serial: " ^ Runner.describe o))
+
+(* A raising experiment is a clean Failed — delivered, not retried,
+   even when faults for other ids are armed. *)
+let test_runner_raise_not_retried () =
+  let work = [ fake "R0" [ [ "v" ] ]; fake "R1" [ [ "v" ] ] ] in
+  with_fault "raise:R1" (fun () ->
+      match List.assoc "R1" (Runner.run ~jobs:2 ~seed:4 work) with
+      | Runner.Failed m ->
+          Alcotest.(check bool) "carries the injected text" true
+            (String.length m > 0)
+      | o -> Alcotest.fail ("R1: " ^ Runner.describe o))
+
+let test_outcome_helpers () =
+  let t = mk_table [ [ "1" ] ] in
+  Alcotest.(check bool) "table through Retried" true
+    (Runner.table_of_outcome (Runner.Retried (2, Runner.Done t)) = Some t);
+  Alcotest.(check bool) "no table from Crashed" true
+    (Runner.table_of_outcome (Runner.Crashed (Runner.Exited 3)) = None);
+  Alcotest.(check string) "describe names SIGKILL"
+    "worker killed by SIGKILL"
+    (Runner.describe (Runner.Crashed (Runner.Signaled Sys.sigkill)));
+  Alcotest.(check string) "describe wraps retries"
+    "timed out after 5s (after 2 retries)"
+    (Runner.describe (Runner.Retried (2, Runner.Timed_out 5.0)))
 
 let test_registry_metadata () =
   List.iter
@@ -299,6 +460,12 @@ let suite =
     Alcotest.test_case "json rejects malformed input" `Quick
       test_json_parse_errors;
     Alcotest.test_case "json number forms" `Quick test_json_numbers;
+    Alcotest.test_case "json non-finite floats emit null" `Quick
+      test_json_nonfinite_floats;
+    Alcotest.test_case "json unicode escapes strict" `Quick
+      test_json_unicode_escapes;
+    Alcotest.test_case "json number grammar strict" `Quick
+      test_json_number_grammar;
     Alcotest.test_case "table json round trip" `Quick
       test_table_json_roundtrip;
     Alcotest.test_case "results doc round trip" `Quick
@@ -315,4 +482,15 @@ let suite =
       test_runner_failure_isolation;
     Alcotest.test_case "runner real experiment (E13)" `Slow
       test_runner_real_experiment;
+    Alcotest.test_case "runner worker death retried" `Quick
+      test_runner_worker_death_retried;
+    Alcotest.test_case "runner crash surfaces waitpid status" `Quick
+      test_runner_crash_surfaces_status;
+    Alcotest.test_case "runner hang timeout retried" `Quick
+      test_runner_hang_timeout_retried;
+    Alcotest.test_case "runner timeout surfaces" `Quick
+      test_runner_timeout_surfaces;
+    Alcotest.test_case "runner raise not retried" `Quick
+      test_runner_raise_not_retried;
+    Alcotest.test_case "runner outcome helpers" `Quick test_outcome_helpers;
     Alcotest.test_case "registry metadata" `Quick test_registry_metadata ]
