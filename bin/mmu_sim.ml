@@ -26,14 +26,10 @@ module Baseline = Mmu_tricks.Baseline
 module Json = Mmu_tricks.Json
 module Trace_export = Mmu_tricks.Trace
 
-let machines =
-  [ ("601-80", Machine.ppc601_80);
-    ("603-133", Machine.ppc603_133);
-    ("603-180", Machine.ppc603_180);
-    ("604-133", Machine.ppc604_133);
-    ("604-185", Machine.ppc604_185);
-    ("604-200", Machine.ppc604_200);
-    ("750-233", Machine.ppc750_233) ]
+(* The CLI enumeration is generated from the machine table: adding a
+   machine to [Machine.all] makes it selectable (and documented) here
+   with no further edits. *)
+let machines = List.map (fun m -> (Machine.slug m, m)) Machine.all
 
 (* --- cmdliner terms --------------------------------------------------- *)
 
@@ -44,7 +40,10 @@ let machine_term =
     value
     & opt (enum machines) Machine.ppc604_185
     & info [ "m"; "machine" ] ~docv:"MACHINE"
-        ~doc:"Machine model: 601-80, 603-133, 603-180, 604-133, 604-185, 604-200, 750-233.")
+        ~doc:
+          ("Machine model: "
+          ^ String.concat ", " (List.map fst machines)
+          ^ "."))
 
 let policy_term =
   Arg.(
@@ -190,8 +189,8 @@ let trace_run machine policy seed workload out sample_every ring summarize =
 
 (* --- experiment runs --------------------------------------------------- *)
 
-let experiment names seed jobs timeout retries strict csv json out traced
-    timeline sample_every =
+let experiment names seed jobs timeout retries strict shadow csv json out
+    traced timeline sample_every =
   let tracing = traced || timeline in
   if out <> None && not (csv || json) then
     Error (`Msg "--out requires --json or --csv")
@@ -208,31 +207,84 @@ let experiment names seed jobs timeout retries strict csv json out traced
     let selected =
       List.map (fun s -> (s.Experiments.id, s.Experiments.run)) specs
     in
-    let results, observability =
-      if not tracing then (Runner.run ~jobs ~seed ~timeout ~retries selected, [])
+    let results, observability, shadow_checks =
+      if not (tracing || shadow) then
+        (Runner.run ~jobs ~seed ~timeout ~retries selected, [], [])
       else begin
         (* Experiments boot their own kernels, unreachable from here:
-           arm tracing process-wide and collect per experiment.  Forked
-           workers would strand their traces in the child, so traced
-           runs are serial — results are byte-identical either way. *)
-        Trace.set_boot_defaults
-          ~sample_every:(if timeline then sample_every else 0)
-          ~enabled:true ();
+           arm tracing/shadow checking process-wide and collect per
+           experiment.  Forked workers would strand their traces and
+           checkers in the child, so these runs are serial — results
+           are byte-identical either way. *)
+        if tracing then
+          Trace.set_boot_defaults
+            ~sample_every:(if timeline then sample_every else 0)
+            ~enabled:true ();
+        if shadow then Shadow.set_boot_defaults ~enabled:true ();
         let acc =
           List.map
             (fun (id, f) ->
               let r =
                 List.hd (Runner.run ~jobs:1 ~seed ~timeout ~retries [ (id, f) ])
               in
-              let traces = Trace.drain_registered () in
-              (r, (id, Trace_export.observability_json traces)))
+              let traces =
+                if tracing then Trace.drain_registered () else []
+              in
+              let checkers = Shadow.drain_registered () in
+              (r, (id, Trace_export.observability_json traces), (id, checkers)))
             selected
         in
         Trace.set_boot_defaults ~enabled:false ();
         ignore (Trace.drain_registered () : Trace.t list);
-        (List.map fst acc, List.map snd acc)
+        Shadow.set_boot_defaults ~enabled:false ();
+        ignore (Shadow.drain_registered () : Shadow.t list);
+        ( List.map (fun (r, _, _) -> r) acc,
+          (if tracing then List.map (fun (_, o, _) -> o) acc else []),
+          (if shadow then List.map (fun (_, _, s) -> s) acc else []) )
       end
     in
+    (* Shadow verdict: totals to stderr (stdout stays a clean document),
+       full per-divergence reports, and a hard failure if the fast path
+       ever disagreed with the reference MMU. *)
+    let divergent =
+      List.filter_map
+        (fun (id, checkers) ->
+          let n =
+            List.fold_left
+              (fun a c -> a + Shadow.total_divergences c)
+              0 checkers
+          in
+          if n > 0 then Some (id, n, checkers) else None)
+        shadow_checks
+    in
+    if shadow then begin
+      let checks =
+        List.fold_left
+          (fun a (_, checkers) ->
+            List.fold_left (fun a c -> a + Shadow.checks c) a checkers)
+          0 shadow_checks
+      in
+      let total =
+        List.fold_left (fun a (_, n, _) -> a + n) 0 divergent
+      in
+      Printf.eprintf
+        "shadow: %d translations cross-checked over %d experiment(s), %d \
+         divergence(s)\n"
+        checks
+        (List.length shadow_checks)
+        total;
+      List.iter
+        (fun (id, n, checkers) ->
+          Printf.eprintf "shadow: experiment %s: %d divergence(s)\n" id n;
+          List.iter
+            (fun c ->
+              List.iter
+                (fun d -> prerr_string ("  " ^ Shadow.report d))
+                (Shadow.divergences c))
+            checkers)
+        divergent;
+      flush stderr
+    end;
     let tables =
       List.filter_map
         (fun (id, o) ->
@@ -290,6 +342,14 @@ let experiment names seed jobs timeout retries strict csv json out traced
              (List.map
                 (fun (id, o) -> id ^ ": " ^ Runner.describe o)
                 hard)))
+    else if divergent <> [] then
+      Error
+        (`Msg
+          (Printf.sprintf
+             "shadow: fast path diverged from the reference MMU in %s \
+              (reports above)"
+             (String.concat ", "
+                (List.map (fun (id, _, _) -> id) divergent))))
     else if strict && degraded <> [] then
       Error
         (`Msg
@@ -299,7 +359,7 @@ let experiment names seed jobs timeout retries strict csv json out traced
     else Ok ()
   end
 
-let check baseline_file jobs timeout retries tolerance =
+let check baseline_file jobs timeout retries tolerance shadow =
   match Baseline.load baseline_file with
   | Error msg -> Error (`Msg msg)
   | Ok doc ->
@@ -315,10 +375,36 @@ let check baseline_file jobs timeout retries tolerance =
             (id, (Option.get (Experiments.find id)).Experiments.run))
           known
       in
-      Printf.printf "checking %d experiments against %s (seed %d, %d jobs)\n\n"
-        (List.length selected) baseline_file seed jobs;
+      (* shadow checkers live in the booting process: force serial *)
+      let jobs = if shadow then 1 else jobs in
+      Printf.printf "checking %d experiments against %s (seed %d, %d jobs%s)\n\n"
+        (List.length selected) baseline_file seed jobs
+        (if shadow then ", shadow-checked" else "");
       flush stdout;
+      if shadow then Shadow.set_boot_defaults ~enabled:true ();
       let results = Runner.run ~jobs ~seed ~timeout ~retries selected in
+      let checkers =
+        if shadow then begin
+          Shadow.set_boot_defaults ~enabled:false ();
+          Shadow.drain_registered ()
+        end
+        else []
+      in
+      let shadow_divergences =
+        List.fold_left (fun a c -> a + Shadow.total_divergences c) 0 checkers
+      in
+      if shadow then begin
+        Printf.printf "shadow: %d translations cross-checked, %d divergence(s)\n\n"
+          (List.fold_left (fun a c -> a + Shadow.checks c) 0 checkers)
+          shadow_divergences;
+        List.iter
+          (fun c ->
+            List.iter
+              (fun d -> print_string ("  " ^ Shadow.report d))
+              (Shadow.divergences c))
+          checkers;
+        flush stdout
+      end;
       let checks =
         List.map2
           (fun (id, btable) (_, outcome) ->
@@ -361,14 +447,21 @@ let check baseline_file jobs timeout retries tolerance =
       let numbers =
         List.fold_left (fun acc (c, _) -> acc + c.Baseline.c_numbers) 0 checks
       in
-      if bad = [] then begin
-        Printf.printf "\nOK: %d experiments, %d numbers within tolerance\n"
-          (List.length checks) numbers;
+      if bad = [] && shadow_divergences = 0 then begin
+        Printf.printf "\nOK: %d experiments, %d numbers within tolerance%s\n"
+          (List.length checks) numbers
+          (if shadow then ", zero shadow divergences" else "");
         Ok ()
       end
       else begin
-        Printf.printf "\nFAIL: %d of %d experiments regressed\n"
-          (List.length bad) (List.length checks);
+        if bad <> [] then
+          Printf.printf "\nFAIL: %d of %d experiments regressed\n"
+            (List.length bad) (List.length checks);
+        if shadow_divergences > 0 then
+          Printf.printf
+            "\nFAIL: %d shadow divergence(s) — the fast path disagreed with \
+             the reference MMU\n"
+            shadow_divergences;
         flush stdout;
         exit 1
       end
@@ -477,6 +570,17 @@ let retries_term =
               corrupt worker: re-forked first, run serially in-parent on \
               the final attempt.")
 
+let shadow_term =
+  Arg.(
+    value & flag
+    & info [ "shadow" ]
+        ~doc:"Cross-validate every address translation against the shadow \
+              reference MMU (a cache-free translator over the BATs and \
+              backing page tables). Divergences are reported in full on \
+              stderr and make the exit status nonzero. Checking is \
+              observation-only — counters and results are byte-identical \
+              to an unshadowed run — but forces serial execution.")
+
 let sample_every_term =
   Arg.(
     value & opt int 100_000
@@ -530,7 +634,9 @@ let trace_cmd =
 let experiment_cmd =
   let names =
     Arg.(value & pos_all experiment_id [] & info [] ~docv:"NAME"
-           ~doc:"Experiment ids (T1..T3, E1..E16, EX1..EX7); all if none.")
+           ~doc:"Experiment ids (T1..T3, E1..E16, EX1..EX7, diagnostics \
+                 D1); all of the registry if none (diagnostics only run \
+                 when named).")
   in
   let csv =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.")
@@ -592,8 +698,8 @@ let experiment_cmd =
     Term.(
       term_result
         (const experiment $ names $ seed_term $ jobs_term $ timeout_term
-        $ retries_term $ strict $ csv $ json $ out $ traced $ timeline
-        $ sample_every_term))
+        $ retries_term $ strict $ shadow_term $ csv $ json $ out $ traced
+        $ timeline $ sample_every_term))
 
 let check_cmd =
   let baseline =
@@ -626,7 +732,7 @@ let check_cmd =
     Term.(
       term_result
         (const check $ baseline $ jobs_term $ timeout_term $ retries_term
-        $ tolerance))
+        $ tolerance $ shadow_term))
 
 let policies_cmd =
   Cmd.v
@@ -638,7 +744,25 @@ let machines_list_cmd =
     (Cmd.info "machines" ~doc:"List machine models.")
     Term.(const machines_cmd $ const ())
 
+(* Deterministic bug injection for exercising the shadow checker:
+   MMU_SIM_BUG=stale-tlb makes every page flush skip its TLB
+   invalidations; stale-tlb:<n> skips only the next n.  Parsed once at
+   startup so forked workers inherit the armed hook. *)
+let arm_bug_hook () =
+  match Sys.getenv_opt "MMU_SIM_BUG" with
+  | None -> ()
+  | Some s -> (
+      match String.split_on_char ':' s with
+      | [ "stale-tlb" ] -> Mmu.test_skip_tlb_invalidations := -1
+      | [ "stale-tlb"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n > 0 -> Mmu.test_skip_tlb_invalidations := n
+          | Some _ | None ->
+              Printf.eprintf "mmu_sim: bad MMU_SIM_BUG count %S\n" s)
+      | _ -> Printf.eprintf "mmu_sim: ignoring unknown MMU_SIM_BUG %S\n" s)
+
 let () =
+  arm_bug_hook ();
   let doc = "PowerPC 603/604 MMU simulator (OSDI '99 MMU-tricks repro)" in
   let info = Cmd.info "mmu_sim" ~version:"1.0.0" ~doc in
   exit

@@ -898,6 +898,64 @@ let ex7 ?(seed = 42) () =
       [ "wake-to-done latency of an editor burst with a compile always";
         "runnable: the user-feel number behind the sec-1 claims." ] }
 
+(* -------------------------------------------------------- diagnostics *)
+
+(* D1 concentrates the translation sequences a missed TLB invalidate
+   corrupts: repeated store -> fork (COW downgrade + precise per-page
+   flush) -> store again (COW break), plus exec image replacement over
+   the same addresses, under the BAT + precise-flush policy where no
+   context reset or kernel TLB churn would mask a stale entry.  It is
+   correct by construction — a shadow-checked run reports zero
+   divergences — until a flush bug is planted (MMU_SIM_BUG=stale-tlb),
+   which makes it the smoke workload proving the shadow checker fails
+   loudly.  Diagnostic only: not in the default registry, so results
+   documents and baselines are unchanged. *)
+let d1 ?(seed = 42) () =
+  let k =
+    Kernel.boot ~machine:Machine.ppc604_185
+      ~policy:Config.optimized_precise_flush ~seed ()
+  in
+  let text_pages = 8 and data_pages = 8 and stack_pages = 4 in
+  let data_base = Mm.user_text_base + (text_pages lsl Addr.page_shift) in
+  let store_all () =
+    for i = 0 to data_pages - 1 do
+      Kernel.touch k Mmu.Store (data_base + (i lsl Addr.page_shift))
+    done
+  in
+  let parent = Kernel.spawn k ~text_pages ~data_pages ~stack_pages () in
+  Kernel.switch_to k parent;
+  Kernel.user_run k ~instrs:2000;
+  store_all ();
+  let generations = 8 in
+  for _ = 1 to generations do
+    (* fork downgrades every private parent page to read-only COW and
+       precise-flushes the parent's translations; the parent's next
+       store must fault and break the sharing *)
+    let child = Kernel.sys_fork k in
+    store_all ();
+    (* the child replaces its image (whole-mm precise flush) and then
+       repopulates the very same effective addresses *)
+    Kernel.switch_to k child;
+    Kernel.sys_exec k ~text_pages ~data_pages ~stack_pages;
+    Kernel.user_run k ~instrs:500;
+    store_all ();
+    Kernel.sys_exit k;
+    Kernel.switch_to k parent
+  done;
+  let p = Kernel.perf k in
+  { title =
+      "D1 (diagnostic) - fork/COW/exec flush stress for the shadow checker";
+    header = [ "metric"; "value" ];
+    rows =
+      [ [ "page faults"; Report.fmt_int p.Perf.page_faults ];
+        [ "TLB misses"; Report.fmt_int (Perf.tlb_misses p) ];
+        [ "PTE flush searches"; Report.fmt_int p.Perf.flush_pte_searches ];
+        [ "context switches"; Report.fmt_int p.Perf.context_switches ] ];
+    notes =
+      [ "diagnostic workload (run by name only); every parent store after";
+        "a fork is a COW break that a skipped TLB invalidate turns into";
+        "a stale translation the shadow reference MMU must catch." ] }
+
 (* ----------------------------------------------------------- registry *)
 
 type spec = {
@@ -973,8 +1031,16 @@ let registry =
       "editor wake-to-done latency while a compile grinds, unoptimized \
        vs optimized" ex7 ]
 
+(* Runnable by name but excluded from default sweeps and baselines. *)
+let diagnostics =
+  [ spec "D1" "fork/COW/exec flush stress (shadow diagnostic)" "diagnostic"
+      "translation sequences a missed TLB invalidate corrupts; the \
+       shadow-checker smoke workload" d1 ]
+
 let find id =
-  List.find_opt (fun s -> String.uppercase_ascii s.id = String.uppercase_ascii id) registry
+  List.find_opt
+    (fun s -> String.uppercase_ascii s.id = String.uppercase_ascii id)
+    (registry @ diagnostics)
 
 let all = List.map (fun s -> (s.id, s.run)) registry
 

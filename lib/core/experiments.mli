@@ -114,6 +114,13 @@ val ex7 : ?seed:int -> unit -> table
 (** Extra: keystroke wake-to-done latency while a compile runs — the
     interactive-feel measurement, unoptimized vs optimized kernels. *)
 
+val d1 : ?seed:int -> unit -> table
+(** Diagnostic: fork/COW/exec flush stress.  Concentrates the
+    translation sequences a skipped TLB invalidate corrupts under the
+    BAT + precise-flush policy where nothing else masks a stale entry;
+    run under [--shadow] with [MMU_SIM_BUG=stale-tlb] it proves the
+    shadow checker fails loudly.  Not part of {!registry}. *)
+
 (** {1 The registry}
 
     Every experiment as a first-class entry: id, short name, the paper
@@ -132,8 +139,13 @@ type spec = {
 val registry : spec list
 (** All experiments in canonical (paper) order. *)
 
+val diagnostics : spec list
+(** Diagnostic workloads ({!d1}): runnable by name, excluded from
+    default sweeps so results documents and baselines are unchanged. *)
+
 val find : string -> spec option
-(** Look up by id, case-insensitively. *)
+(** Look up by id, case-insensitively, in {!registry} then
+    {!diagnostics}. *)
 
 val all : (string * (?seed:int -> unit -> table)) list
 (** [registry] as (id, run) pairs — the shape the bench harness and the

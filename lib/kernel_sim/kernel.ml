@@ -38,6 +38,7 @@ let policy t = t.k_policy
 let perf t = t.k_perf
 let memsys t = t.k_memsys
 let mmu t = t.k_mmu
+let shadow t = Mmu.shadow t.k_mmu
 let physmem t = t.k_physmem
 let vsid_alloc t = t.k_vsid
 let pagepool t = t.k_pagepool
@@ -55,7 +56,7 @@ let lazy_flush_available t =
   t.k_policy.Policy.lazy_flush
   && Vsid_alloc.source t.k_vsid = Vsid_alloc.Context_counter
 
-let boot ~machine ~policy ?(seed = 42) () =
+let boot ~machine ~policy ?(seed = 42) ?shadow () =
   let perf = Perf.create () in
   let memsys = Memsys.create ~machine ~perf in
   let rng = Rng.create ~seed in
@@ -79,6 +80,19 @@ let boot ~machine ~policy ?(seed = 42) () =
     Mmu.create ~htab_base_pa:Kparams.htab_pa ~machine ~memsys
       ~knobs:(Policy.mmu_knobs policy) ~backing:dummy_backing ~rng:mmu_rng ()
   in
+  (* Shadow checking: explicit request wins; otherwise honour the
+     process-wide boot default (set by [experiment --shadow], which
+     cannot reach the kernels the registry boots).  Checkers created via
+     the default are registered so the driver can drain them. *)
+  (match shadow with
+  | Some false -> ()
+  | Some true -> Mmu.attach_shadow mmu (Shadow.create ())
+  | None ->
+      if Shadow.boot_enabled () then begin
+        let sh = Shadow.create () in
+        Shadow.register sh;
+        Mmu.attach_shadow mmu sh
+      end);
   let t =
     { k_machine = machine;
       k_policy = policy;
@@ -240,6 +254,9 @@ let context_reset t ~mm =
     Vsid_alloc.renew_context t.k_vsid ~old_ctx ~pid:(Mm.pid mm)
   in
   Mm.set_ctx mm fresh;
+  (match Mmu.shadow t.k_mmu with
+  | None -> ()
+  | Some sh -> Shadow.note_flush sh ~what:"context-reset" ~vsid:old_ctx ~ea:0);
   let tr = trace t in
   if Trace.enabled tr then
     Trace.emit tr Trace.Flush_context ~a:old_ctx ~b:fresh;

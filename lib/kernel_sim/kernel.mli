@@ -23,10 +23,19 @@ exception Kernel_fault of Addr.ea
 
 type t
 
-val boot : machine:Machine.t -> policy:Policy.t -> ?seed:int -> unit -> t
+val boot :
+  machine:Machine.t -> policy:Policy.t -> ?seed:int -> ?shadow:bool ->
+  unit -> t
 (** Build and boot a system: reserve the kernel image, premap the linear
     kernel map, program BATs (policy permitting), install kernel segment
-    registers and the MMU backing, and start the performance monitor. *)
+    registers and the MMU backing, and start the performance monitor.
+
+    [?shadow] attaches a {!Ppc.Shadow} checker that cross-validates
+    every translation against the reference MMU.  When omitted, the
+    process-wide {!Ppc.Shadow.boot_enabled} default applies and any
+    checker so created is {!Ppc.Shadow.register}ed for the driver to
+    drain — the hook [experiment --shadow] uses to reach kernels booted
+    deep inside the experiment registry. *)
 
 (** {1 Accessors} *)
 
@@ -40,6 +49,10 @@ val trace : t -> Trace.t
 
 val memsys : t -> Memsys.t
 val mmu : t -> Mmu.t
+
+val shadow : t -> Shadow.t option
+(** The attached shadow checker, if any. *)
+
 val physmem : t -> Physmem.t
 val vsid_alloc : t -> Vsid_alloc.t
 val pagepool : t -> Pagepool.t

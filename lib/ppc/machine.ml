@@ -100,6 +100,19 @@ let all =
   [ ppc601_80; ppc603_133; ppc603_180; ppc604_133; ppc604_185; ppc604_200;
     ppc750_233 ]
 
+(* "603 133MHz" -> "603-133": lowercase, spaces to dashes, the
+   redundant frequency unit dropped. *)
+let slug t =
+  let s = String.lowercase_ascii t.name in
+  let s =
+    if String.length s > 3 && String.sub s (String.length s - 3) 3 = "mhz"
+    then String.sub s 0 (String.length s - 3)
+    else s
+  in
+  String.map (fun c -> if c = ' ' then '-' else c) (String.trim s)
+
+let find_by_slug s = List.find_opt (fun m -> slug m = s) all
+
 let pp fmt t =
   let style =
     match t.reload with

@@ -80,5 +80,15 @@ val ppc750_233 : t
 val all : t list
 (** Every predefined machine. *)
 
+val slug : t -> string
+(** Stable command-line identifier derived from [name]: lowercase,
+    spaces become dashes, the "MHz" unit is dropped — ["603 133MHz"]
+    becomes ["603-133"].  The CLI machine enumeration is generated from
+    [all] via this function, so adding a machine here is enough to make
+    it selectable. *)
+
+val find_by_slug : string -> t option
+(** Inverse of {!slug} over {!all}. *)
+
 val pp : Format.formatter -> t -> unit
 (** One-line summary. *)

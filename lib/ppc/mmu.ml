@@ -35,6 +35,7 @@ type t = {
   machine : Machine.t;
   memsys : Memsys.t;
   knobs : knobs;
+  engine : Reload_engine.t;
   seg : Segment.t;
   ibat : Bat.t;
   dbat : Bat.t;
@@ -43,41 +44,53 @@ type t = {
   htab : Htab.t option;
   mutable backing : backing;
   mutable is_zombie : int -> bool;
+  mutable shadow : Shadow.t option;
   rng : Rng.t;
 }
 
 (* Physical address region where the C handlers save/restore state. *)
 let handler_stack_pa = 0x0000_8000
 
+(* Test-only fault injection: a nonzero value makes [flush_page_for_vsid]
+   skip its TLB invalidations — the stale-translation bug class the
+   shadow checker exists to catch.  Positive = skip that many flush
+   calls then disarm; negative = skip every one.  Costs are still
+   charged, so an armed-but-never-triggering run stays byte-identical. *)
+let test_skip_tlb_invalidations = ref 0
+
 let create ?(htab_base_pa = 0x0030_0000) ~machine ~memsys ~knobs ~backing ~rng
     () =
-  let hardware = machine.Machine.reload = Machine.Hardware_search in
-  (* A hardware-reload machine cannot bypass the htab. *)
-  let knobs = if hardware then { knobs with use_htab = true } else knobs in
+  let engine = Reload_engine.select ~machine ~use_htab:knobs.use_htab in
+  (* A hardware-reload machine cannot bypass the htab; the knob records
+     what the selected backend actually does. *)
+  let knobs = { knobs with use_htab = Reload_engine.uses_htab engine } in
   let tlb_of (g : Machine.tlb_geometry) =
     Tlb.create ~sets:g.Machine.tlb_sets ~ways:g.Machine.tlb_ways
   in
   { machine;
     memsys;
     knobs;
+    engine;
     seg = Segment.create ();
     ibat = Bat.create ();
     dbat = Bat.create ();
     itlb = tlb_of machine.Machine.itlb;
     dtlb = tlb_of machine.Machine.dtlb;
     htab =
-      (if knobs.use_htab then
+      (if Reload_engine.uses_htab engine then
          Some
            (Htab.create ~base_pa:htab_base_pa
               ~n_ptes:machine.Machine.htab_ptes ())
        else None);
     backing;
     is_zombie = (fun _ -> false);
+    shadow = None;
     rng }
 
 let machine t = t.machine
 let memsys t = t.memsys
 let knobs t = t.knobs
+let engine t = t.engine
 let segments t = t.seg
 let ibat t = t.ibat
 let dbat t = t.dbat
@@ -87,6 +100,9 @@ let htab t = t.htab
 
 let set_backing t backing = t.backing <- backing
 let set_vsid_is_zombie t f = t.is_zombie <- f
+
+let attach_shadow t sh = t.shadow <- Some sh
+let shadow t = t.shadow
 
 let perf t = Memsys.perf t.memsys
 let trace t = Memsys.trace t.memsys
@@ -120,6 +136,55 @@ let handler t ~fast ~slow ~slow_stack_refs =
         (handler_stack_pa + (i * Addr.line_size))
     done
   end
+
+(* --- the reference translator ----------------------------------------- *)
+
+(* The architectural answer for one effective address: BAT registers,
+   then the backing page tables — no TLB, no htab, no cost charging, no
+   state mutation.  This is what the fast path is a cache of; the shadow
+   checker compares every access against it and [probe] simply returns
+   its physical address. *)
+let reference_outcome t kind ea =
+  let ea = ea land Addr.ea_mask in
+  let bat = match kind with Fetch -> t.ibat | Load | Store -> t.dbat in
+  match Bat.translate bat ea with
+  | Some pa -> { Shadow.pa = Some pa; inhibited = false; answered = Shadow.Bat }
+  | None -> begin
+      match t.backing.walk ea with
+      | Unmapped _ ->
+          { Shadow.pa = None;
+            inhibited = false;
+            answered = Shadow.No_translation }
+      | Mapped { rpn; wimg; protection; _ } ->
+          if kind = Store && protection <> Pte.Read_write then
+            { Shadow.pa = None;
+              inhibited = false;
+              answered = Shadow.Page_table }
+          else
+            { Shadow.pa = Some (Addr.pa_of ~rpn ~ea);
+              inhibited = wimg.Pte.cache_inhibited;
+              answered = Shadow.Page_table }
+    end
+
+let probe t kind ea = (reference_outcome t kind ea).Shadow.pa
+
+let shadow_kind = function
+  | Fetch -> Shadow.Fetch
+  | Load -> Shadow.Load
+  | Store -> Shadow.Store
+
+(* Cross-validate one finished access against the reference translator.
+   [ea] is already masked.  Free when no shadow is attached. *)
+let shadow_check t kind ea ~pa ~inhibited ~answered =
+  match t.shadow with
+  | None -> ()
+  | Some sh ->
+      Shadow.check sh
+        ~pid:(Trace.current_pid (trace t))
+        ~vsid:(Segment.vsid_for t.seg ea)
+        ~ea ~kind:(shadow_kind kind)
+        ~fast:{ Shadow.pa; inhibited; answered }
+        ~reference:(reference_outcome t kind ea)
 
 (* --- reload paths ---------------------------------------------------- *)
 
@@ -202,42 +267,40 @@ let search_htab t h ~vsid ~page_index ~software =
         Trace.emit_htab_probe tr ~len:probe_len ~hit:false;
       None
 
+let reload_handler t =
+  handler t ~fast:Cost.sw_reload_fast_instr ~slow:Cost.sw_reload_slow_instr
+    ~slow_stack_refs:Cost.sw_reload_slow_stack_refs
+
+(* One generic reload sequence driven by the selected backend's cost
+   row; the per-style branching lives in [Reload_engine.cost_table], not
+   here.  Returns the translation plus which structure produced it. *)
 let reload t ~vsid ~ea ~store =
   let page_index = Addr.page_index ea in
-  match t.machine.Machine.reload with
-  | Machine.Hardware_search -> begin
-      (* The 604 searches the htab in hardware... *)
-      Memsys.stall t.memsys Cost.hw_search_overhead_cycles;
-      let h = Option.get t.htab in
-      match search_htab t h ~vsid ~page_index ~software:false with
-      | Some _ as hit -> hit
-      | None ->
-          (* ...and traps to software only on a hash-table miss. *)
-          Memsys.stall t.memsys Cost.htab_miss_trap_cycles;
-          handler t ~fast:Cost.sw_reload_fast_instr
-            ~slow:Cost.sw_reload_slow_instr
-            ~slow_stack_refs:Cost.sw_reload_slow_stack_refs;
-          walk_and_fill t ~vsid ~ea ~page_index ~store
-    end
-  | Machine.Software_trap -> begin
-      (* The 603 traps on every TLB miss. *)
-      Memsys.stall t.memsys Cost.tlb_miss_trap_cycles;
-      handler t ~fast:Cost.sw_reload_fast_instr
-        ~slow:Cost.sw_reload_slow_instr
-        ~slow_stack_refs:Cost.sw_reload_slow_stack_refs;
-      match t.htab with
-      | Some h -> begin
-          (* pre-§6.2 code: emulate the 604's hardware search in software;
-             computing the hash and PTEG addresses costs instructions the
-             direct page-table walk does not *)
-          Memsys.instructions t.memsys Cost.sw_hash_setup_instr;
-          match search_htab t h ~vsid ~page_index ~software:true with
-          | Some _ as hit -> hit
-          | None -> walk_and_fill t ~vsid ~ea ~page_index ~store
-        end
-      | None ->
-          (* §6.2: no htab — straight to the Linux PTE tree. *)
-          walk_and_fill t ~vsid ~ea ~page_index ~store
+  let c = t.engine |> Reload_engine.costs in
+  if c.Reload_engine.entry_stall_cycles > 0 then
+    Memsys.stall t.memsys c.Reload_engine.entry_stall_cycles;
+  if c.Reload_engine.handler_on_entry then reload_handler t;
+  let fill () =
+    if c.Reload_engine.miss_trap_cycles > 0 then
+      Memsys.stall t.memsys c.Reload_engine.miss_trap_cycles;
+    if c.Reload_engine.handler_on_miss then reload_handler t;
+    match walk_and_fill t ~vsid ~ea ~page_index ~store with
+    | None -> None
+    | Some (rpn, wimg, protection) ->
+        Some (rpn, wimg, protection, Shadow.Page_table)
+  in
+  match t.htab with
+  | None -> fill ()
+  | Some h -> begin
+      if c.Reload_engine.hash_setup_instr > 0 then
+        Memsys.instructions t.memsys c.Reload_engine.hash_setup_instr;
+      match
+        search_htab t h ~vsid ~page_index
+          ~software:c.Reload_engine.software_search
+      with
+      | Some (rpn, wimg, protection) ->
+          Some (rpn, wimg, protection, Shadow.Htab)
+      | None -> fill ()
     end
 
 (* --- the access path -------------------------------------------------- *)
@@ -272,6 +335,8 @@ let access t kind ea =
       let tr = trace t in
       if Trace.enabled tr then Trace.emit tr Trace.Bat_hit ~a:ea ~b:0;
       final_ref t kind pa ~inhibited:false ~source;
+      shadow_check t kind ea ~pa:(Some pa) ~inhibited:false
+        ~answered:Shadow.Bat;
       Ok pa
   | None -> begin
       let vsid = Segment.vsid_for t.seg ea in
@@ -280,10 +345,16 @@ let access t kind ea =
       count_lookup t kind;
       match Tlb.lookup tlb vpn with
       | Some e ->
-          if kind = Store && not e.Tlb.writable then Fault
+          if kind = Store && not e.Tlb.writable then begin
+            shadow_check t kind ea ~pa:None ~inhibited:false
+              ~answered:Shadow.Tlb;
+            Fault
+          end
           else begin
             let pa = Addr.pa_of ~rpn:e.Tlb.rpn ~ea in
             final_ref t kind pa ~inhibited:e.Tlb.inhibited ~source;
+            shadow_check t kind ea ~pa:(Some pa) ~inhibited:e.Tlb.inhibited
+              ~answered:Shadow.Tlb;
             Ok pa
           end
       | None -> begin
@@ -298,8 +369,11 @@ let access t kind ea =
               | Load | Store -> Trace.Dtlb_miss)
               ~a:ea ~b:0;
           match reload t ~vsid ~ea ~store:(kind = Store) with
-          | None -> Fault
-          | Some (rpn, wimg, protection) ->
+          | None ->
+              shadow_check t kind ea ~pa:None ~inhibited:false
+                ~answered:Shadow.No_translation;
+              Fault
+          | Some (rpn, wimg, protection, answered) ->
               let entry =
                 { Tlb.vpn;
                   rpn;
@@ -316,49 +390,17 @@ let access t kind ea =
                   ~cost:((perf t).Perf.cycles - miss_start)
               end
               else Tlb.insert tlb entry;
-              if kind = Store && not entry.Tlb.writable then Fault
+              if kind = Store && not entry.Tlb.writable then begin
+                shadow_check t kind ea ~pa:None ~inhibited:false ~answered;
+                Fault
+              end
               else begin
                 let pa = Addr.pa_of ~rpn ~ea in
                 final_ref t kind pa ~inhibited:entry.Tlb.inhibited ~source;
+                shadow_check t kind ea ~pa:(Some pa)
+                  ~inhibited:entry.Tlb.inhibited ~answered;
                 Ok pa
               end
-        end
-    end
-
-let probe t kind ea =
-  let ea = ea land Addr.ea_mask in
-  let bat = match kind with Fetch -> t.ibat | Load | Store -> t.dbat in
-  match Bat.translate bat ea with
-  | Some pa -> Some pa
-  | None -> begin
-      let vsid = Segment.vsid_for t.seg ea in
-      let vpn = Addr.vpn_of ~vsid ~ea in
-      let tlb = match kind with Fetch -> t.itlb | Load | Store -> t.dtlb in
-      let writable_result protection pa =
-        if kind = Store && protection <> Pte.Read_write then None else Some pa
-      in
-      match Tlb.peek tlb vpn with
-      | Some e ->
-          if kind = Store && not e.Tlb.writable then None
-          else Some (Addr.pa_of ~rpn:e.Tlb.rpn ~ea)
-      | None -> begin
-          let ignore_ref (_ : Addr.pa) = () in
-          let from_htab =
-            match t.htab with
-            | None -> None
-            | Some h ->
-                Htab.search h ~vsid ~page_index:(Addr.page_index ea)
-                  ~on_ref:ignore_ref
-          in
-          match from_htab with
-          | Some pte ->
-              writable_result pte.Pte.protection (Addr.pa_of ~rpn:pte.Pte.rpn ~ea)
-          | None -> begin
-              match t.backing.walk ea with
-              | Unmapped _ -> None
-              | Mapped { rpn; protection; _ } ->
-                  writable_result protection (Addr.pa_of ~rpn ~ea)
-            end
         end
     end
 
@@ -366,14 +408,25 @@ let probe t kind ea =
 
 let tlbie_cycles = 4
 
+let note_flush t ~what ~vsid ~ea =
+  match t.shadow with
+  | None -> ()
+  | Some sh -> Shadow.note_flush sh ~what ~vsid ~ea
+
 let flush_page_for_vsid t ~vsid ea =
   let vpn = Addr.vpn_of ~vsid ~ea in
   let tr = trace t in
   if Trace.enabled tr then Trace.emit tr Trace.Flush_page ~a:ea ~b:vsid;
   Memsys.stall t.memsys tlbie_cycles;
   Memsys.instructions t.memsys 6;
-  Tlb.invalidate_page t.itlb vpn;
-  Tlb.invalidate_page t.dtlb vpn;
+  (* test-only stale-TLB injection: see [test_skip_tlb_invalidations] *)
+  let skip = !test_skip_tlb_invalidations <> 0 in
+  if !test_skip_tlb_invalidations > 0 then decr test_skip_tlb_invalidations;
+  if not skip then begin
+    Tlb.invalidate_page t.itlb vpn;
+    Tlb.invalidate_page t.dtlb vpn
+  end;
+  note_flush t ~what:"flush-page" ~vsid ~ea;
   match t.htab with
   | None -> ()
   | Some h ->
@@ -389,7 +442,8 @@ let flush_page t ea =
 
 let invalidate_tlbs t =
   Tlb.invalidate_all t.itlb;
-  Tlb.invalidate_all t.dtlb
+  Tlb.invalidate_all t.dtlb;
+  note_flush t ~what:"tlb-invalidate-all" ~vsid:0 ~ea:0
 
 let reclaim_zombies t ~max_ptes =
   match t.htab with

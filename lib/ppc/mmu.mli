@@ -21,6 +21,13 @@
     assembly of §6.1 using only the swapped registers; {e slow}: the
     original C handlers with state save/restore), selected by [knobs].
 
+    The reload mechanisms are pluggable backends: {!Reload_engine}
+    selects one from the machine and the [use_htab] knob, and a single
+    generic reload sequence here is driven by the backend's declarative
+    cost row.  A {!Shadow} checker can be attached to cross-validate
+    every access against the reference translator (BATs + backing page
+    tables, no caches, no costs) from which {!probe} is also derived.
+
     The engine knows nothing about processes: the kernel supplies a
     [backing] walker resolving an effective address against the current
     address space, a VSID-liveness predicate for zombie accounting, and
@@ -92,6 +99,10 @@ val create :
 val machine : t -> Machine.t
 val memsys : t -> Memsys.t
 val knobs : t -> knobs
+
+val engine : t -> Reload_engine.t
+(** The reload backend selected at {!create} time. *)
+
 val segments : t -> Segment.t
 val ibat : t -> Bat.t
 val dbat : t -> Bat.t
@@ -115,9 +126,23 @@ val access : t -> access_kind -> Addr.ea -> access_result
     page-walk cache traffic, and the final data/instruction reference). *)
 
 val probe : t -> access_kind -> Addr.ea -> Addr.pa option
-(** [probe t kind ea] is the translation [access] would use, computed with
-    {e no} cost charging and {e no} state mutation — the test oracle.
-    Returns [None] when the access would fault. *)
+(** [probe t kind ea] is the translation the architecture defines for
+    [ea], computed with {e no} cost charging and {e no} state mutation —
+    the test oracle.  Returns [None] when the access would fault.
+    Derived from {!reference_outcome}, so it cannot disagree with the
+    shadow checker: stale TLB or htab contents never leak into a probe. *)
+
+val reference_outcome : t -> access_kind -> Addr.ea -> Shadow.outcome
+(** The reference translator: resolve [ea] against the architectural
+    state only (BAT registers, then the backing page-table walk),
+    applying the same store-to-read-only protection rule as [access].
+    Cache-free, cost-free, mutation-free. *)
+
+val attach_shadow : t -> Shadow.t -> unit
+(** Cross-validate every subsequent [access] against
+    {!reference_outcome}, recording divergences in the checker. *)
+
+val shadow : t -> Shadow.t option
 
 val flush_page : t -> Addr.ea -> unit
 (** Precise per-page flush for the {e current} segment contents: [tlbie]
@@ -142,3 +167,11 @@ val kernel_tlb_entries : t -> is_kernel_vsid:(int -> bool) -> int
 
 val tlb_occupancy : t -> int
 (** Total valid TLB entries (I+D). *)
+
+val test_skip_tlb_invalidations : int ref
+(** Test-only fault injection: while nonzero, {!flush_page_for_vsid}
+    charges its costs and invalidates the htab slot but {e skips} the
+    TLB invalidations, planting exactly the stale-translation bug the
+    shadow checker exists to catch.  Positive values count down (skip
+    the next [n] page flushes); [-1] skips all.  Leave at [0] (the
+    default) for correct operation. *)

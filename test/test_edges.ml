@@ -195,6 +195,109 @@ let test_oom_during_cow_break_is_clean () =
   Kernel.touch k Mmu.Load data;
   Kernel.sys_exit k
 
+(* --- translation edges, through every reload backend --------------- *)
+
+let translation_backends =
+  [ ("604 hw-search", Machine.ppc604_185, Mmu.default_knobs);
+    ("603 sw-htab", Machine.ppc603_133, Mmu.default_knobs);
+    ( "603 sw-direct",
+      Machine.ppc603_133,
+      { Mmu.default_knobs with Mmu.use_htab = false } ) ]
+
+let check_ok name expected = function
+  | Mmu.Ok pa -> Alcotest.(check int) name expected pa
+  | Mmu.Fault -> Alcotest.fail (name ^ ": unexpected fault")
+
+let check_fault name = function
+  | Mmu.Fault -> ()
+  | Mmu.Ok _ -> Alcotest.fail (name ^ ": expected fault")
+
+let test_segment_boundary_translation () =
+  (* the 0xB/0xC seam: the last user page and the first kernel page are
+     one byte apart but live in different segments with different VSIDs;
+     access and probe must agree on both sides, on every backend *)
+  List.iter
+    (fun (name, machine, knobs) ->
+      let mmu, mappings, _, sh = Test_shadow.make_shadowed ~machine ~knobs () in
+      let last_user = 0xBFFFF000 and first_kernel = 0xC0000000 in
+      Test_mmu.map mappings ~ea:last_user ~rpn:0x111;
+      Test_mmu.map mappings ~ea:first_kernel ~rpn:0x222;
+      check_ok (name ^ ": last user byte")
+        (Addr.pa_of ~rpn:0x111 ~ea:0xBFFFFFFF)
+        (Mmu.access mmu Mmu.Load 0xBFFFFFFF);
+      check_ok (name ^ ": first kernel byte")
+        (Addr.pa_of ~rpn:0x222 ~ea:first_kernel)
+        (Mmu.access mmu Mmu.Load first_kernel);
+      Alcotest.(check (option int)) (name ^ ": probe last user")
+        (Some (Addr.pa_of ~rpn:0x111 ~ea:0xBFFFFFFF))
+        (Mmu.probe mmu Mmu.Load 0xBFFFFFFF);
+      Alcotest.(check (option int)) (name ^ ": probe first kernel")
+        (Some (Addr.pa_of ~rpn:0x222 ~ea:first_kernel))
+        (Mmu.probe mmu Mmu.Load first_kernel);
+      (* distinct VSIDs: the two sides of the seam must not alias *)
+      let seg = Mmu.segments mmu in
+      Alcotest.(check bool) (name ^ ": VSIDs differ across the seam") true
+        (Segment.vsid_for seg 0xBFFFFFFF <> Segment.vsid_for seg first_kernel);
+      Alcotest.(check int) (name ^ ": shadow agrees throughout") 0
+        (Shadow.total_divergences sh))
+    translation_backends
+
+let test_bat_edge_translation () =
+  (* the last byte inside a BAT block translates via the BAT; the first
+     byte past it falls through to the page machinery *)
+  List.iter
+    (fun (name, machine, knobs) ->
+      let mmu, mappings, perf, sh = Test_shadow.make_shadowed ~machine ~knobs () in
+      let block = 8 * 1024 * 1024 in
+      Bat.set (Mmu.dbat mmu) ~index:0 ~base_ea:0xC0000000 ~length:block
+        ~phys_base:0x01000000;
+      let last = 0xC0000000 + block - 1 in
+      check_ok (name ^ ": last BAT byte")
+        (0x01000000 + block - 1)
+        (Mmu.access mmu Mmu.Load last);
+      Alcotest.(check (option int)) (name ^ ": probe last BAT byte")
+        (Some (0x01000000 + block - 1))
+        (Mmu.probe mmu Mmu.Load last);
+      Alcotest.(check int) (name ^ ": BAT bypasses the TLB") 0
+        (Perf.tlb_lookups perf);
+      (* one page past the block: page-translated, not BAT *)
+      let past = 0xC0000000 + block in
+      Test_mmu.map mappings ~ea:past ~rpn:0x333;
+      check_ok (name ^ ": first byte past the block")
+        (Addr.pa_of ~rpn:0x333 ~ea:past)
+        (Mmu.access mmu Mmu.Load past);
+      Alcotest.(check bool) (name ^ ": past-the-end used the TLB path") true
+        (Perf.tlb_lookups perf > 0);
+      Alcotest.(check int) (name ^ ": shadow agrees throughout") 0
+        (Shadow.total_divergences sh))
+    translation_backends
+
+let test_store_to_readonly_per_backend () =
+  (* both fault paths — at TLB reload and at a warm TLB hit — and the
+     probe oracle, per backend *)
+  List.iter
+    (fun (name, machine, knobs) ->
+      let mmu, mappings, _, sh = Test_shadow.make_shadowed ~machine ~knobs () in
+      let ea = 0x01800000 in
+      Test_mmu.map_ro mappings ~ea ~rpn:0x9;
+      check_fault (name ^ ": store on the reload path")
+        (Mmu.access mmu Mmu.Store ea);
+      check_ok (name ^ ": load still fine")
+        (Addr.pa_of ~rpn:0x9 ~ea)
+        (Mmu.access mmu Mmu.Load ea);
+      (* TLB is now warm: the protection fault comes from the TLB entry *)
+      check_fault (name ^ ": store on the warm-hit path")
+        (Mmu.access mmu Mmu.Store ea);
+      Alcotest.(check (option int)) (name ^ ": probe predicts the fault")
+        None
+        (Mmu.probe mmu Mmu.Store ea);
+      Alcotest.(check (option int)) (name ^ ": probe allows the load")
+        (Some (Addr.pa_of ~rpn:0x9 ~ea))
+        (Mmu.probe mmu Mmu.Load ea);
+      Alcotest.(check int) (name ^ ": shadow agrees throughout") 0
+        (Shadow.total_divergences sh))
+    translation_backends
+
 let suite =
   [ Alcotest.test_case "address extremes" `Quick test_addr_extremes;
     Alcotest.test_case "largest BAT block" `Quick test_bat_largest_block;
@@ -210,4 +313,10 @@ let suite =
     Alcotest.test_case "tiny-RAM machine boots" `Quick test_tiny_ram_machine;
     Alcotest.test_case "OOM during fork" `Quick test_oom_during_fork;
     Alcotest.test_case "OOM during COW break" `Quick
-      test_oom_during_cow_break_is_clean ]
+      test_oom_during_cow_break_is_clean;
+    Alcotest.test_case "segment boundary (0xB/0xC)" `Quick
+      test_segment_boundary_translation;
+    Alcotest.test_case "BAT edge translation" `Quick
+      test_bat_edge_translation;
+    Alcotest.test_case "store-to-readonly per backend" `Quick
+      test_store_to_readonly_per_backend ]

@@ -15,6 +15,7 @@ let () =
       ("machine-cost", Test_machine.suite);
       ("memsys", Test_memsys.suite);
       ("mmu", Test_mmu.suite);
+      ("shadow", Test_shadow.suite);
       ("physmem", Test_physmem.suite);
       ("pagetable", Test_pagetable.suite);
       ("vsid", Test_vsid.suite);

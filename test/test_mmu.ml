@@ -221,6 +221,49 @@ let test_evict_classification () =
   Alcotest.(check int) "evicts classified" perf.Perf.htab_evicts
     (perf.Perf.htab_evicts_live + perf.Perf.htab_evicts_zombie)
 
+let test_engine_selection () =
+  let style_of machine knobs =
+    let mmu, _, _ = make ~machine ~knobs () in
+    Reload_engine.style (Mmu.engine mmu)
+  in
+  let no_htab = { Mmu.default_knobs with Mmu.use_htab = false } in
+  Alcotest.(check bool) "604 selects hw-search" true
+    (style_of Machine.ppc604_185 Mmu.default_knobs = Reload_engine.Hw_search);
+  Alcotest.(check bool) "604 cannot bypass the htab" true
+    (style_of Machine.ppc604_185 no_htab = Reload_engine.Hw_search);
+  Alcotest.(check bool) "603 with htab emulates the 604" true
+    (style_of Machine.ppc603_133 Mmu.default_knobs = Reload_engine.Sw_htab);
+  Alcotest.(check bool) "603 without htab walks directly" true
+    (style_of Machine.ppc603_133 no_htab = Reload_engine.Sw_direct)
+
+let test_engine_cost_table () =
+  (* every style has exactly one row, and the rows carry the paper's
+     trap/overhead constants *)
+  Alcotest.(check int) "one row per style"
+    (List.length Reload_engine.all_styles)
+    (List.length Reload_engine.cost_table);
+  List.iter
+    (fun style ->
+      ignore (Reload_engine.costs_of style : Reload_engine.costs))
+    Reload_engine.all_styles;
+  let hw = Reload_engine.costs_of Reload_engine.Hw_search in
+  Alcotest.(check int) "hw entry = hardware-search overhead"
+    Cost.hw_search_overhead_cycles hw.Reload_engine.entry_stall_cycles;
+  Alcotest.(check int) "hw miss = the 91-cycle interrupt"
+    Cost.htab_miss_trap_cycles hw.Reload_engine.miss_trap_cycles;
+  Alcotest.(check bool) "hw search is not software" false
+    hw.Reload_engine.software_search;
+  let sw = Reload_engine.costs_of Reload_engine.Sw_htab in
+  Alcotest.(check int) "sw entry = the 32-cycle trap"
+    Cost.tlb_miss_trap_cycles sw.Reload_engine.entry_stall_cycles;
+  Alcotest.(check int) "sw hash setup charged"
+    Cost.sw_hash_setup_instr sw.Reload_engine.hash_setup_instr;
+  let direct = Reload_engine.costs_of Reload_engine.Sw_direct in
+  Alcotest.(check int) "direct has no hash setup" 0
+    direct.Reload_engine.hash_setup_instr;
+  Alcotest.(check int) "direct has no extra miss trap" 0
+    direct.Reload_engine.miss_trap_cycles
+
 (* Property: probe always predicts what access will return, across
    random mapping tables, access kinds and both reload styles. *)
 let prop_probe_predicts_access machine name =
@@ -272,6 +315,9 @@ let suite =
       test_changed_bit_set_eagerly;
     Alcotest.test_case "evict classification" `Quick
       test_evict_classification;
+    Alcotest.test_case "reload backend selection" `Quick
+      test_engine_selection;
+    Alcotest.test_case "reload cost table" `Quick test_engine_cost_table;
     QCheck_alcotest.to_alcotest
       (prop_probe_predicts_access Machine.ppc604_185
          "probe predicts access (604 hw reload)");

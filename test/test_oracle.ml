@@ -55,7 +55,9 @@ let check_consistency k task =
   !ok
 
 let run_ops ~machine ~policy ops =
-  let k = Kernel.boot ~machine ~policy ~seed:11 () in
+  (* shadow on: every translation made along the way is also
+     cross-checked against the reference MMU, for free *)
+  let k = Kernel.boot ~machine ~policy ~seed:11 ~shadow:true () in
   let a = Kernel.spawn k () in
   let b = Kernel.spawn k () in
   Kernel.switch_to k a;
@@ -148,6 +150,9 @@ let run_ops ~machine ~policy ops =
   if not (check_consistency k a) then consistent := false;
   Kernel.switch_to k b;
   if not (check_consistency k b) then consistent := false;
+  (match Kernel.shadow k with
+  | Some sh -> if Shadow.total_divergences sh > 0 then consistent := false
+  | None -> consistent := false);
   !consistent
 
 let prop ~name ~machine ~policy =
