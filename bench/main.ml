@@ -64,9 +64,18 @@ let micro () =
     Test.make ~name:"trace-unit: warm MMU access, tracing on"
       (Staged.stage (fun () -> Kernel.touch k4 Mmu.Load data_base))
   in
+  (* and again with the attribution profiler charging, so the cost of
+     profiling sits next to the cost of tracing in the same table *)
+  let k5 = mk_kernel () in
+  Profile.enable (Kernel.profile k5);
+  Kernel.touch k5 Mmu.Store data_base;
+  let test_pr =
+    Test.make ~name:"profile-unit: warm MMU access, profiling on"
+      (Staged.stage (fun () -> Kernel.touch k5 Mmu.Load data_base))
+  in
   let grouped =
     Test.make_grouped ~name:"simulator"
-      [ test_t1; test_t2; test_t3; test_tr ]
+      [ test_t1; test_t2; test_t3; test_tr; test_pr ]
   in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.3) () in

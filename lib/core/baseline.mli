@@ -46,6 +46,10 @@ val numbers_of_cell : string -> float list
     [[-10.; 219000000.]].  Thousands separators are folded; a comma is
     only part of a number when it glues groups of three digits. *)
 
+val rel_dev : float -> float -> float
+(** Relative deviation [|a-b| / max |a| |b|] (0 when both are 0) — the
+    measure both {!check_table} and [Explain] rank by. *)
+
 (** Result of checking one experiment against its baseline entry. *)
 type check = {
   c_id : string;

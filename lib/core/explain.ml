@@ -1,0 +1,161 @@
+(* Why did a run get slower?  Diff two results documents, rank the
+   counter deltas by contribution (relative deviation, the same measure
+   the checker gates on), and join the winners against the attribution
+   the documents embed (observability.profile) to name the responsible
+   PID/segment.  Turns "numbers moved" into "kernel ITLB pressure in
+   segment 0xC moved". *)
+
+type delta = {
+  x_id : string;       (* experiment id *)
+  x_row : string;      (* row label (first cell of the row) *)
+  x_col : string;      (* column header of the differing cell *)
+  x_token : int;       (* index of the numeric token within the cell *)
+  x_a : float;         (* value in document A *)
+  x_b : float;         (* value in document B *)
+  x_rel : float;       (* relative deviation, |a-b| / max |a| |b| *)
+}
+
+let nth_or l i d = match List.nth_opt l i with Some x -> x | None -> d
+
+(* Every numeric token that differs between two tables of the same
+   shape.  Shape mismatches (headers, row/cell/token counts) yield no
+   deltas — `check` reports those structurally. *)
+let diff_tables ~id ~(a : Experiments.table) ~(b : Experiments.table) =
+  let out = ref [] in
+  if List.length a.Experiments.rows = List.length b.Experiments.rows then
+    List.iteri
+      (fun _r (arow, brow) ->
+        if List.length arow = List.length brow then begin
+          let label = nth_or arow 0 "" in
+          List.iteri
+            (fun c (acell, bcell) ->
+              let an = Baseline.numbers_of_cell acell
+              and bn = Baseline.numbers_of_cell bcell in
+              if List.length an = List.length bn then
+                List.iteri
+                  (fun tok (av, bv) ->
+                    let rel = Baseline.rel_dev av bv in
+                    if rel > 0.0 then
+                      out :=
+                        { x_id = id;
+                          x_row = label;
+                          x_col = nth_or a.Experiments.header c
+                                    (Printf.sprintf "col %d" (c + 1));
+                          x_token = tok;
+                          x_a = av;
+                          x_b = bv;
+                          x_rel = rel }
+                        :: !out)
+                  (List.combine an bn))
+            (List.combine arow brow)
+        end)
+      (List.combine a.Experiments.rows b.Experiments.rows);
+  List.rev !out
+
+(* Largest contribution first; magnitude of the absolute change breaks
+   ties so a 2x swing on a big counter outranks one on a tiny counter. *)
+let rank deltas =
+  List.sort
+    (fun d1 d2 ->
+      match compare d2.x_rel d1.x_rel with
+      | 0 -> compare (Float.abs (d2.x_a -. d2.x_b)) (Float.abs (d1.x_a -. d1.x_b))
+      | c -> c)
+    deltas
+
+let fmt_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let describe d =
+  let direction = if d.x_b > d.x_a then "+" else "-" in
+  Printf.sprintf "%s: %s [%s]: %s -> %s (%s%.1f%%)" d.x_id d.x_row d.x_col
+    (fmt_value d.x_a) (fmt_value d.x_b) direction (100.0 *. d.x_rel)
+
+(* --- attribution join ------------------------------------------------- *)
+
+(* The raw JSON of one experiment entry in a results document. *)
+let experiment_json doc ~id =
+  match Json.member "experiments" doc with
+  | Some (Json.List entries) ->
+      List.find_opt
+        (fun e ->
+          match Option.bind (Json.member "id" e) Json.to_string_opt with
+          | Some i -> i = id
+          | None -> false)
+        entries
+  | _ -> None
+
+(* The heaviest embedded attribution accounts for one experiment, as
+   human-readable "pid 0 seg 0xC itlb: 123 misses, 45678 cycles" lines
+   (cost order).  Empty when the document was produced without
+   --profile. *)
+let attribution_lines ?(top = 3) doc ~id =
+  match
+    Option.bind (experiment_json doc ~id) (fun e ->
+        Option.bind (Json.member "observability" e) (fun o ->
+            Option.bind (Json.member "profile" o) (Json.member "attribution")))
+  with
+  | Some (Json.List accounts) ->
+      let parsed =
+        List.filter_map
+          (fun a ->
+            let int k = Option.bind (Json.member k a) Json.to_int_opt in
+            let str k = Option.bind (Json.member k a) Json.to_string_opt in
+            match (int "pid", int "segment", str "kind", int "count", int "cost")
+            with
+            | Some pid, Some seg, Some kind, Some count, Some cost ->
+                Some (pid, seg, kind, count, cost)
+            | _ -> None)
+          accounts
+      in
+      let sorted =
+        List.sort (fun (_, _, _, _, c1) (_, _, _, _, c2) -> compare c2 c1)
+          parsed
+      in
+      List.filteri (fun i _ -> i < top) sorted
+      |> List.map (fun (pid, seg, kind, count, cost) ->
+             Printf.sprintf "pid %d seg 0x%X %s: %d misses, %d cycles" pid seg
+               kind count cost)
+  | _ -> []
+
+(* --- whole-document explanation --------------------------------------- *)
+
+type report = {
+  rep_delta : delta;
+  rep_attribution : string list;
+      (* heaviest accounts of the experiment the delta belongs to, from
+         whichever document embeds attribution (B wins) *)
+}
+
+let explain_docs ?(top = 10) ~a_doc ~a_json ~b_doc ~b_json () =
+  let ids_b = List.map fst b_doc.Baseline.d_entries in
+  let common =
+    List.filter (fun (id, _) -> List.mem id ids_b) a_doc.Baseline.d_entries
+  in
+  let deltas =
+    List.concat_map
+      (fun (id, ta) ->
+        let tb = List.assoc id b_doc.Baseline.d_entries in
+        diff_tables ~id ~a:ta ~b:tb)
+      common
+  in
+  let ranked = List.filteri (fun i _ -> i < top) (rank deltas) in
+  List.map
+    (fun d ->
+      let attr =
+        match attribution_lines b_json ~id:d.x_id with
+        | [] -> attribution_lines a_json ~id:d.x_id
+        | l -> l
+      in
+      { rep_delta = d; rep_attribution = attr })
+    ranked
+
+let render_report r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (describe r.rep_delta);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun line -> Buffer.add_string buf ("    attribution: " ^ line ^ "\n"))
+    r.rep_attribution;
+  Buffer.contents buf

@@ -1,0 +1,57 @@
+(** Why did a run get slower?  Diff two results documents, rank the
+    counter deltas by contribution, and join the winners against the
+    attribution the documents embed ([observability.profile], written by
+    [experiment --profile]) to name the responsible PID/segment.
+
+    Behind [mmu_sim explain --a old.json --b new.json], and behind
+    [check]'s failure output: a tolerance failure prints the top
+    explanations instead of only the first mismatching token. *)
+
+(** One numeric token that differs between the two documents. *)
+type delta = {
+  x_id : string;     (** experiment id *)
+  x_row : string;    (** row label (first cell of the row) *)
+  x_col : string;    (** column header of the differing cell *)
+  x_token : int;     (** index of the numeric token within the cell *)
+  x_a : float;       (** value in document A *)
+  x_b : float;       (** value in document B *)
+  x_rel : float;     (** relative deviation, {!Baseline.rel_dev} *)
+}
+
+val diff_tables :
+  id:string -> a:Experiments.table -> b:Experiments.table -> delta list
+(** Every numeric token that differs between two tables of the same
+    shape, in table order.  Tables whose shape differs (row/cell/token
+    counts) yield no deltas — [check] reports those structurally. *)
+
+val rank : delta list -> delta list
+(** Largest relative deviation first; absolute change breaks ties. *)
+
+val describe : delta -> string
+(** One line: ["E12: context switch [misses]: 4100 -> 5900 (+30.5%)"]. *)
+
+val attribution_lines : ?top:int -> Json.t -> id:string -> string list
+(** The [top] (default 3) heaviest attribution accounts embedded for
+    experiment [id] in a raw results document, as human-readable lines;
+    empty when the document carries no profile. *)
+
+(** One ranked delta with the responsible accounts attached. *)
+type report = {
+  rep_delta : delta;
+  rep_attribution : string list;
+      (** from whichever document embeds attribution (B preferred) *)
+}
+
+val explain_docs :
+  ?top:int ->
+  a_doc:Baseline.doc ->
+  a_json:Json.t ->
+  b_doc:Baseline.doc ->
+  b_json:Json.t ->
+  unit ->
+  report list
+(** The [top] (default 10) largest deltas across the experiments both
+    documents contain, each joined against embedded attribution. *)
+
+val render_report : report -> string
+(** {!describe} plus indented attribution lines, newline-terminated. *)

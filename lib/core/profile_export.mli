@@ -1,0 +1,27 @@
+(** Exporters for {!Ppc.Profile}: folded stacks, attribution JSON, and
+    a text heatmap.
+
+    Pure functions of finished profilers.  A run can boot several
+    kernels (E1 boots one per policy), so every entry point takes a
+    list, in boot order: miss accounts and hot pages are merged across
+    kernels, while the TLB census and htab occupancy map — descriptions
+    of one machine's structures — stay per-kernel. *)
+
+val folded : Ppc.Profile.t list -> string
+(** Flamegraph-collapsed stacks, one line per (PID, segment, kind)
+    account: [pid_3;seg_0x2;dtlb 412170].  The weight is attributed
+    reload cycles; feed to flamegraph.pl, inferno or speedscope.
+    Deterministic order (by pid, segment, kind). *)
+
+val to_json : ?top:int -> Ppc.Profile.t list -> Json.t
+(** The attribution document embedded per experiment in results JSON
+    (under [observability.profile]): merged accounts, the [top]
+    (default 20) hot pages per kind, one TLB census object per kernel
+    that recorded one, and one htab occupancy map (periodic samples +
+    end-of-run snapshot with chain histogram and zombie fraction) per
+    kernel with an htab. *)
+
+val summary : ?top:int -> Ppc.Profile.t list -> string
+(** Human-readable rendering: a PID × segment cost heatmap, the [top]
+    (default 10) hot pages per kind, and one census / occupancy
+    trajectory line per kernel. *)

@@ -247,11 +247,16 @@ let bar n max_n width =
 
 let summary_hist buf name h =
   if not (Hist.is_empty h) then begin
+    (* interpolated percentiles: bucket upper bounds overstate skewed
+       distributions by up to a power of two *)
     Buffer.add_string buf
-      (Printf.sprintf "  %s: n=%d mean=%.1f p50<=%d p90<=%d p99<=%d max=%d\n"
+      (Printf.sprintf
+         "  %s: n=%d mean=%.1f p50~%.1f p90~%.1f p99~%.1f max=%d\n"
          name (Hist.count h) (Hist.mean h)
-         (Hist.percentile h 0.50) (Hist.percentile h 0.90)
-         (Hist.percentile h 0.99) (Hist.max_value h));
+         (Hist.percentile_interpolated h 0.50)
+         (Hist.percentile_interpolated h 0.90)
+         (Hist.percentile_interpolated h 0.99)
+         (Hist.max_value h));
     let buckets = Hist.buckets h in
     let biggest =
       List.fold_left (fun m (_, _, n) -> max m n) 0 buckets

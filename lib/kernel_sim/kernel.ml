@@ -45,6 +45,7 @@ let pagepool t = t.k_pagepool
 let vfs t = t.k_vfs
 let rng t = t.k_rng
 let trace t = Memsys.trace t.k_memsys
+let profile t = Memsys.profile t.k_memsys
 let cycles t = t.k_perf.Perf.cycles
 let us t = Cost.us_of_cycles ~mhz:t.k_machine.Machine.mhz (cycles t)
 let tasks t = t.k_tasks
@@ -173,6 +174,12 @@ let boot ~machine ~policy ?(seed = 42) ?shadow () =
   in
   Mmu.set_backing mmu { Mmu.walk };
   Mmu.set_vsid_is_zombie mmu (Vsid_alloc.is_zombie vsid);
+  (* The attribution profiler's TLB census classifies slots with the
+     same ownership test as the §5.1 footprint measurement.  Like Trace,
+     the profiler itself was created (and, if [Profile.set_boot_defaults]
+     armed process-wide profiling, enabled and registered) inside
+     [Memsys.create] above. *)
+  Mmu.set_vsid_is_kernel mmu Vsid_alloc.is_kernel;
   t
 
 (* --- kernel path execution ------------------------------------------- *)

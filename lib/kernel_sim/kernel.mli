@@ -47,6 +47,14 @@ val trace : t -> Trace.t
 (** The event trace attached to this kernel's memory system — shorthand
     for [Memsys.trace (memsys t)]. *)
 
+val profile : t -> Profile.t
+(** The attribution profiler attached to this kernel's memory system —
+    shorthand for [Memsys.profile (memsys t)].  Its TLB slot census
+    classifies entries with {!Vsid_alloc.is_kernel}; like Trace, a
+    profiler created while {!Ppc.Profile.set_boot_defaults} has armed
+    process-wide profiling starts enabled and registered for the driver
+    to drain. *)
+
 val memsys : t -> Memsys.t
 val mmu : t -> Mmu.t
 

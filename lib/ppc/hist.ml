@@ -67,6 +67,34 @@ let percentile t p =
     walk 0 0
   end
 
+(* [percentile] reports the winning bucket's upper bound, which
+   overstates p50/p90 for skewed distributions (a bucket spans a full
+   power of two).  This variant interpolates linearly within the bucket:
+   the rank's fractional position among the bucket's observations picks
+   a proportional point between the bucket bounds (tightened to the true
+   maximum in the top occupied bucket). *)
+let percentile_interpolated t p =
+  if t.count = 0 then 0.0
+  else begin
+    let p = if p < 0. then 0. else if p > 1. then 1. else p in
+    let target = Float.max 1.0 (p *. float_of_int t.count) in
+    let rec walk i seen =
+      if i >= n_buckets then float_of_int t.max_value
+      else begin
+        let n = t.counts.(i) in
+        if n > 0 && float_of_int (seen + n) >= target then begin
+          let lo, hi = bucket_bounds i in
+          let hi = if i = bucket_index t.max_value then t.max_value else hi in
+          let frac = (target -. float_of_int seen) /. float_of_int n in
+          let frac = Float.min 1.0 (Float.max 0.0 frac) in
+          float_of_int lo +. (frac *. float_of_int (hi - lo))
+        end
+        else walk (i + 1) (seen + n)
+      end
+    in
+    walk 0 0
+  end
+
 let merge ~into t =
   into.count <- into.count + t.count;
   into.sum <- into.sum + t.sum;

@@ -43,7 +43,17 @@ val buckets : t -> (int * int * int) list
 val percentile : t -> float -> int
 (** [percentile t p] with [p] in [0..1]: the upper bound of the bucket
     where the cumulative count reaches [p]; the true max for the last
-    bucket reached; 0 when empty. *)
+    bucket reached; 0 when empty.  Kept for compatibility (and for
+    machine-readable documents that promise integers); prefer
+    {!percentile_interpolated} for human-facing summaries. *)
+
+val percentile_interpolated : t -> float -> float
+(** Like {!percentile} but interpolating linearly within the winning
+    bucket — the rank's fractional position among that bucket's
+    observations picks a proportional point between the bucket bounds
+    (tightened to the true max in the top occupied bucket), so skewed
+    distributions are not rounded up to a power of two.  0 when
+    empty. *)
 
 val merge : into:t -> t -> unit
 (** Add [t]'s buckets and totals into [into]. *)

@@ -2,6 +2,7 @@ type t = {
   machine : Machine.t;
   perf : Perf.t;
   trace : Trace.t;
+  profile : Profile.t;
   icache : Cache.t;
   dcache : Cache.t;
   mutable idle : bool;
@@ -11,6 +12,7 @@ let create ~machine ~perf =
   { machine;
     perf;
     trace = Trace.create ~perf;
+    profile = Profile.create ~perf;
     icache =
       Cache.create ~bytes:machine.Machine.icache.Machine.cache_bytes
         ~ways:machine.Machine.icache.Machine.cache_ways;
@@ -22,6 +24,7 @@ let create ~machine ~perf =
 let machine t = t.machine
 let perf t = t.perf
 let trace t = t.trace
+let profile t = t.profile
 let icache t = t.icache
 let dcache t = t.dcache
 
@@ -34,7 +37,11 @@ let charge t cycles =
   (* timeline sampler: [next_sample] is [max_int] unless armed, so the
      untraced cost is this one compare *)
   if t.perf.Perf.cycles >= t.trace.Trace.next_sample then
-    Trace.take_sample t.trace
+    Trace.take_sample t.trace;
+  (* htab occupancy sampler, same Perf-timeline cadence discipline: one
+     integer compare while profiling is off *)
+  if t.perf.Perf.cycles >= t.profile.Profile.next_sample then
+    Profile.take_sample t.profile
 
 (* A write-back of a dirty victim is a posted store: it overlaps with
    execution, so we charge half the memory latency. *)

@@ -23,6 +23,11 @@ val trace : t -> Trace.t
     charges check its sampling deadline, so timeline samples land here
     no matter which subsystem advanced the clock. *)
 
+val profile : t -> Profile.t
+(** The machine's attribution profiler (disabled until
+    [Profile.enable]).  Cycle charges check its htab-occupancy sampling
+    deadline on the same cadence discipline as the trace timeline. *)
+
 val icache : t -> Cache.t
 val dcache : t -> Cache.t
 

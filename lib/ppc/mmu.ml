@@ -44,6 +44,7 @@ type t = {
   htab : Htab.t option;
   mutable backing : backing;
   mutable is_zombie : int -> bool;
+  mutable is_kernel_vsid : int -> bool;
   mutable shadow : Shadow.t option;
   rng : Rng.t;
 }
@@ -67,25 +68,43 @@ let create ?(htab_base_pa = 0x0030_0000) ~machine ~memsys ~knobs ~backing ~rng
   let tlb_of (g : Machine.tlb_geometry) =
     Tlb.create ~sets:g.Machine.tlb_sets ~ways:g.Machine.tlb_ways
   in
-  { machine;
-    memsys;
-    knobs;
-    engine;
-    seg = Segment.create ();
-    ibat = Bat.create ();
-    dbat = Bat.create ();
-    itlb = tlb_of machine.Machine.itlb;
-    dtlb = tlb_of machine.Machine.dtlb;
-    htab =
-      (if Reload_engine.uses_htab engine then
-         Some
-           (Htab.create ~base_pa:htab_base_pa
-              ~n_ptes:machine.Machine.htab_ptes ())
-       else None);
-    backing;
-    is_zombie = (fun _ -> false);
-    shadow = None;
-    rng }
+  let t =
+    { machine;
+      memsys;
+      knobs;
+      engine;
+      seg = Segment.create ();
+      ibat = Bat.create ();
+      dbat = Bat.create ();
+      itlb = tlb_of machine.Machine.itlb;
+      dtlb = tlb_of machine.Machine.dtlb;
+      htab =
+        (if Reload_engine.uses_htab engine then
+           Some
+             (Htab.create ~base_pa:htab_base_pa
+                ~n_ptes:machine.Machine.htab_ptes ())
+         else None);
+      backing;
+      is_zombie = (fun _ -> false);
+      is_kernel_vsid = (fun _ -> false);
+      shadow = None;
+      rng }
+  in
+  (* Wire the attribution profiler's machine-shape hooks.  The closures
+     read [t]'s mutable predicates at call time, so the kernel can
+     install liveness/ownership tests after boot. *)
+  let prof = Memsys.profile memsys in
+  Profile.set_tlb_capacity prof (Tlb.capacity t.itlb + Tlb.capacity t.dtlb);
+  (match t.htab with
+  | None -> ()
+  | Some h ->
+      Profile.set_htab_source prof (fun () ->
+          { Profile.h_cycle = (Memsys.perf memsys).Perf.cycles;
+            h_valid = Htab.occupancy h;
+            h_capacity = Htab.capacity h;
+            h_zombie = Htab.count_valid h ~f:(fun p -> t.is_zombie p.Pte.vsid);
+            h_chains = Htab.histogram h }));
+  t
 
 let machine t = t.machine
 let memsys t = t.memsys
@@ -100,12 +119,20 @@ let htab t = t.htab
 
 let set_backing t backing = t.backing <- backing
 let set_vsid_is_zombie t f = t.is_zombie <- f
+let set_vsid_is_kernel t f = t.is_kernel_vsid <- f
 
 let attach_shadow t sh = t.shadow <- Some sh
 let shadow t = t.shadow
 
 let perf t = Memsys.perf t.memsys
 let trace t = Memsys.trace t.memsys
+let profile t = Memsys.profile t.memsys
+
+let kernel_tlb_entries t ~is_kernel_vsid =
+  let p vpn = is_kernel_vsid (Addr.vsid_of_vpn vpn) in
+  Tlb.count_matching t.itlb p + Tlb.count_matching t.dtlb p
+
+let tlb_occupancy t = Tlb.occupancy t.itlb + Tlb.occupancy t.dtlb
 
 (* --- cost-charging reference helpers ------------------------------- *)
 
@@ -361,14 +388,41 @@ let access t kind ea =
           count_miss t kind;
           let tr = trace t in
           let traced = Trace.enabled tr in
-          let miss_start = if traced then (perf t).Perf.cycles else 0 in
+          let pr = profile t in
+          let profiling = Profile.enabled pr in
+          let miss_start =
+            if traced || profiling then (perf t).Perf.cycles else 0
+          in
+          let htab_misses_before =
+            if profiling then (perf t).Perf.htab_misses else 0
+          in
           if traced then
             Trace.emit tr
               (match kind with
               | Fetch -> Trace.Itlb_miss
               | Load | Store -> Trace.Dtlb_miss)
               ~a:ea ~b:0;
-          match reload t ~vsid ~ea ~store:(kind = Store) with
+          let reloaded = reload t ~vsid ~ea ~store:(kind = Store) in
+          (* Attribution: the full reload service cost is charged to the
+             owning (pid, segment) under the TLB kind; a reload that also
+             missed the htab is charged again under the htab kind.
+             Observation only — no cycles, no cache traffic, no RNG. *)
+          if profiling then begin
+            let cost = (perf t).Perf.cycles - miss_start in
+            let pid = Trace.current_pid tr in
+            let seg = Addr.sr_index ea in
+            let page = Addr.page_base ea in
+            let mk =
+              match kind with
+              | Fetch -> Profile.Itlb
+              | Load | Store -> Profile.Dtlb
+            in
+            Profile.charge_miss pr ~pid ~seg ~page ~kind:mk ~cost;
+            if (perf t).Perf.htab_misses > htab_misses_before then
+              Profile.charge_miss pr ~pid ~seg ~page ~kind:Profile.Htab_miss
+                ~cost
+          end;
+          match reloaded with
           | None ->
               shadow_check t kind ea ~pa:None ~inhibited:false
                 ~answered:Shadow.No_translation;
@@ -390,6 +444,13 @@ let access t kind ea =
                   ~cost:((perf t).Perf.cycles - miss_start)
               end
               else Tlb.insert tlb entry;
+              (* kernel-vs-user slot census, taken while the TLB contents
+                 are freshest (right after the fill) *)
+              if profiling then
+                Profile.note_tlb_census pr
+                  ~kernel:
+                    (kernel_tlb_entries t ~is_kernel_vsid:t.is_kernel_vsid)
+                  ~occupied:(tlb_occupancy t);
               if kind = Store && not entry.Tlb.writable then begin
                 shadow_check t kind ea ~pa:None ~inhibited:false ~answered;
                 Fault
@@ -459,9 +520,3 @@ let reclaim_zombies t ~max_ptes =
       if Trace.enabled tr then
         Trace.emit_for tr Trace.Idle_reclaim ~pid:0 ~a:reclaimed ~b:max_ptes;
       reclaimed
-
-let kernel_tlb_entries t ~is_kernel_vsid =
-  let p vpn = is_kernel_vsid (Addr.vsid_of_vpn vpn) in
-  Tlb.count_matching t.itlb p + Tlb.count_matching t.dtlb p
-
-let tlb_occupancy t = Tlb.occupancy t.itlb + Tlb.occupancy t.dtlb

@@ -120,6 +120,12 @@ val set_vsid_is_zombie : t -> (int -> bool) -> unit
 (** Install the liveness predicate used to classify htab eviction victims
     and to drive idle reclaim. *)
 
+val set_vsid_is_kernel : t -> (int -> bool) -> unit
+(** Install the kernel-ownership predicate the attribution profiler's
+    TLB slot census classifies entries with (defaults to
+    [fun _ -> false]: everything counts as user until the kernel
+    identifies its VSIDs). *)
+
 val access : t -> access_kind -> Addr.ea -> access_result
 (** [access t kind ea] translates and performs one reference, charging all
     costs (trap overheads, handler path lengths, table-search and

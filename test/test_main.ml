@@ -16,6 +16,7 @@ let () =
       ("memsys", Test_memsys.suite);
       ("mmu", Test_mmu.suite);
       ("shadow", Test_shadow.suite);
+      ("profile", Test_profile.suite);
       ("physmem", Test_physmem.suite);
       ("pagetable", Test_pagetable.suite);
       ("vsid", Test_vsid.suite);
