@@ -11,7 +11,10 @@
    Run some sections:       dune exec bench/main.exe -- T1 E6 ...
    Across 4 workers:        dune exec bench/main.exe -- --jobs 4
    Machine-readable:        dune exec bench/main.exe -- --json
-   Skip the bechamel pass:  dune exec bench/main.exe -- --no-micro *)
+   Skip the bechamel pass:  dune exec bench/main.exe -- --no-micro
+   Throughput micros only:  dune exec bench/main.exe -- --throughput [--json]
+                            (the BENCH_throughput.json measurement pass;
+                             see docs/PERFORMANCE.md) *)
 
 open Ppc
 module Kernel = Kernel_sim.Kernel
@@ -99,6 +102,44 @@ let micro () =
     ~header:[ "hot path"; "ns/run" ]
     ~rows:(List.sort compare !rows)
 
+(* ------------------------------------------------ throughput micro-pass *)
+
+module Perfstat = Mmu_tricks.Perfstat
+module Json = Mmu_tricks.Json
+
+let throughput_machine = Machine.ppc604_185
+
+let throughput_quota = ref 0.5
+
+let throughput_results () =
+  Perfstat.run ~quota_s:!throughput_quota ~machine:throughput_machine ~seed ()
+
+let throughput_table results =
+  Report.section "Simulator throughput (translations/second as a product)";
+  Report.table
+    ~header:[ "micro"; "ns/op"; "ops/sec"; "translations/sec" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [ r.Perfstat.r_name;
+             Printf.sprintf "%.1f" r.Perfstat.r_ns_per_op;
+             Printf.sprintf "%.0f" r.Perfstat.r_ops_per_sec;
+             (if r.Perfstat.r_translations_per_op = 0 then "-"
+              else Printf.sprintf "%.0f" r.Perfstat.r_translations_per_sec) ])
+         results)
+
+(* A fresh measurement in the BENCH_throughput.json document shape: a
+   one-entry history, so `mmu_sim check --bench` can read it too. *)
+let throughput_doc results =
+  Perfstat.doc_to_json
+    { Perfstat.b_machine = Machine.slug throughput_machine;
+      b_seed = seed;
+      b_tolerance = Perfstat.default_tolerance;
+      b_history =
+        [ { Perfstat.e_label = "fresh measurement";
+            e_recorded = "bench --throughput";
+            e_results = results } ] }
+
 (* ---------------------------------------------------------------- main *)
 
 (* EX3: the §5.2 tuning-methodology sweep, via Mmu_tricks.Tuning. *)
@@ -112,44 +153,95 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let no_micro = List.mem "--no-micro" args in
   let json = List.mem "--json" args in
-  let rec parse jobs wanted = function
-    | [] -> (jobs, List.rev wanted)
+  let throughput = List.mem "--throughput" args in
+  let rec parse jobs out wanted = function
+    | [] -> (jobs, out, List.rev wanted)
     | "--jobs" :: n :: rest -> (
         match int_of_string_opt n with
-        | Some j when j >= 1 -> parse j wanted rest
+        | Some j when j >= 1 -> parse j out wanted rest
         | _ -> (prerr_endline "bench: --jobs expects a positive integer"; exit 2))
     | "--jobs" :: [] ->
         prerr_endline "bench: --jobs expects a positive integer";
         exit 2
-    | ("--no-micro" | "--json") :: rest -> parse jobs wanted rest
-    | name :: rest -> parse jobs (name :: wanted) rest
+    | "--out" :: path :: rest -> parse jobs (Some path) wanted rest
+    | "--out" :: [] ->
+        prerr_endline "bench: --out expects a file name";
+        exit 2
+    | "--quota" :: q :: rest -> (
+        match float_of_string_opt q with
+        | Some s when s > 0. ->
+            throughput_quota := s;
+            parse jobs out wanted rest
+        | _ ->
+            prerr_endline "bench: --quota expects seconds > 0";
+            exit 2)
+    | "--quota" :: [] ->
+        prerr_endline "bench: --quota expects seconds > 0";
+        exit 2
+    | ("--no-micro" | "--json" | "--throughput") :: rest ->
+        parse jobs out wanted rest
+    | name :: rest -> parse jobs out (name :: wanted) rest
   in
-  let jobs, wanted = parse 1 [] args in
-  let chosen =
-    if wanted = [] then sections
-    else List.filter (fun (name, _) -> List.mem name wanted) sections
+  let jobs, out, wanted = parse 1 None [] args in
+  let write_out text =
+    match out with
+    | None -> print_string text
+    | Some path ->
+        Out_channel.with_open_text path (fun oc -> output_string oc text)
   in
-  if not json then
-    print_endline
-      "Reproduction harness: Optimizing the Idle Task and Other MMU Tricks \
-       (OSDI 1999)";
-  let results = Mmu_tricks.Runner.run ~jobs ~seed chosen in
-  let tables =
-    List.filter_map
-      (fun (id, outcome) ->
-        match Mmu_tricks.Runner.table_of_outcome outcome with
-        | Some t -> Some (id, t)
-        | None ->
-            Printf.eprintf "bench: %s: %s\n" id
-              (Mmu_tricks.Runner.describe outcome);
-            None)
-      results
-  in
-  if json then
-    print_string
-      (Mmu_tricks.Json.to_string (Mmu_tricks.Baseline.doc_to_json ~seed tables)
-      ^ "\n")
-  else List.iter (fun (_, t) -> Experiments.print t) tables;
-  if (not json) && (not no_micro) && wanted = [] then micro ();
-  if not json then print_newline ();
-  if List.length tables < List.length chosen then exit 1
+  if throughput then begin
+    (* The throughput-only pass: measure the three hot-path micros and
+       emit either the human table or a fresh bench document. *)
+    let results = throughput_results () in
+    if json then
+      write_out (Json.to_string (throughput_doc results) ^ "\n")
+    else throughput_table results
+  end
+  else begin
+    let chosen =
+      if wanted = [] then sections
+      else List.filter (fun (name, _) -> List.mem name wanted) sections
+    in
+    if not json then
+      print_endline
+        "Reproduction harness: Optimizing the Idle Task and Other MMU Tricks \
+         (OSDI 1999)";
+    let results = Mmu_tricks.Runner.run ~jobs ~seed chosen in
+    let tables =
+      List.filter_map
+        (fun (id, outcome) ->
+          match Mmu_tricks.Runner.table_of_outcome outcome with
+          | Some t -> Some (id, t)
+          | None ->
+              Printf.eprintf "bench: %s: %s\n" id
+                (Mmu_tricks.Runner.describe outcome);
+              None)
+        results
+    in
+    if json then begin
+      (* The bechamel micros ride along in the document (under a key the
+         baseline checker never reads) so the throughput gate and human
+         readers of the text table see the same numbers. *)
+      let doc = Mmu_tricks.Baseline.doc_to_json ~seed tables in
+      let doc =
+        if no_micro || wanted <> [] then doc
+        else
+          match doc with
+          | Json.Obj fields ->
+              Json.Obj
+                (fields
+                @ [ ("micros", Perfstat.micros_json (throughput_results ())) ])
+          | j -> j
+      in
+      write_out (Json.to_string doc ^ "\n")
+    end
+    else begin
+      List.iter (fun (_, t) -> Experiments.print t) tables;
+      if (not no_micro) && wanted = [] then begin
+        micro ();
+        throughput_table (throughput_results ())
+      end;
+      print_newline ()
+    end;
+    if List.length tables < List.length chosen then exit 1
+  end

@@ -1,0 +1,367 @@
+(* Raw simulator throughput, measured: bechamel micros over the three
+   hot paths the flattening work targets (warm TLB-hit access, TLB-miss
+   reload through the htab, context switch), the committed
+   BENCH_throughput.json trajectory document, and the one-sided
+   regression gate behind [mmu_sim check --bench].
+
+   The micros are wall-clock measurements of the simulator itself, not
+   of the simulated machine — the number that bounds how many simulated
+   translations a sweep, a tuner, or a future SMP run can push per
+   second of host time.  Everything else in this repo is deterministic
+   per seed; these numbers are not, which is why the document keeps a
+   history (a trajectory, not a single cell) and the gate is
+   tolerance-banded and one-sided: only a throughput *loss* beyond the
+   band fails, an improvement just suggests appending a new entry. *)
+
+module Kernel = Kernel_sim.Kernel
+module Policy = Kernel_sim.Policy
+module Mm = Kernel_sim.Mm
+open Ppc
+
+let schema = "mmu-tricks/bench-v1"
+
+(* Committed default: generous enough to absorb shared-CI host variance,
+   tight enough to catch the "hot path grew allocations back" class of
+   regression (a 2.5x+ slowdown).  PERFORMANCE.md documents the
+   reasoning; the document's "tolerance" field overrides it. *)
+let default_tolerance = 0.6
+
+type result = {
+  r_name : string;
+  r_what : string;
+  r_ns_per_op : float;
+  r_ops_per_sec : float;
+  r_translations_per_op : int;
+      (* exact Mmu translations one op drives; 0 = not a translation
+         micro (the context-switch path is gated on ops/sec only) *)
+  r_translations_per_sec : float;  (* 0 when r_translations_per_op = 0 *)
+}
+
+(* ------------------------------------------------------------ micros *)
+
+(* Setup mirrors the long-standing bechamel pass in bench/main.ml: boot
+   the optimized policy, spawn, run enough user instructions to warm the
+   kernel paths, and pre-touch every page an op will visit so the
+   steady-state op never takes a demand fault. *)
+
+let data_base = Mm.user_text_base + (16 lsl Addr.page_shift)
+
+let boot ~machine ~seed ?(data_pages = 16) () =
+  let k = Kernel.boot ~machine ~policy:Policy.optimized ~seed () in
+  let t = Kernel.spawn k ~data_pages () in
+  Kernel.switch_to k t;
+  Kernel.user_run k ~instrs:2000;
+  k
+
+(* Enough pages that a cyclic scan always misses both split TLBs of
+   every machine in Machine.all (the largest is 128 data entries). *)
+let miss_pages = 512
+
+type micro = {
+  m_name : string;
+  m_what : string;
+  m_translations_per_op : int;
+  m_op : unit -> unit;
+}
+
+(* Translations per benched op.  The harness costs a few tens of ns per
+   op (staged-closure call, clock sampling); a warm translation costs
+   about that much itself, so a 1-translation op would be half harness.
+   Batching 16 translations into each op pushes the harness share below
+   ten percent; [translations_per_sec = ops_per_sec * batch] stays the
+   honest product number. *)
+let batch = 16
+
+let micros ~machine ~seed =
+  let warm =
+    let k = boot ~machine ~seed () in
+    Kernel.touch k Mmu.Store data_base;
+    { m_name = "warm-access";
+      m_what =
+        "user loads that hit the TLB and the D-cache, 16 per op to \
+         amortize harness overhead";
+      m_translations_per_op = batch;
+      m_op =
+        (fun () ->
+          for _ = 1 to batch do
+            Kernel.touch k Mmu.Load data_base
+          done) }
+  in
+  let miss =
+    let k = boot ~machine ~seed ~data_pages:(miss_pages + 32) () in
+    for i = 0 to miss_pages - 1 do
+      Kernel.touch k Mmu.Store (data_base + (i lsl Addr.page_shift))
+    done;
+    let cursor = ref 0 in
+    { m_name = "tlb-miss-reload";
+      m_what =
+        "user loads cycling over more pages than the TLB holds (16 per \
+         op): every load is a TLB miss serviced by the reload engine \
+         (htab search on 604-class machines)";
+      m_translations_per_op = batch;
+      m_op =
+        (fun () ->
+          let c = !cursor in
+          for i = 0 to batch - 1 do
+            Kernel.touch k Mmu.Load
+              (data_base + (((c + i) land (miss_pages - 1)) lsl Addr.page_shift))
+          done;
+          cursor := (c + batch) land (miss_pages - 1)) }
+  in
+  let ctxsw =
+    let k = boot ~machine ~seed () in
+    let a =
+      match Kernel.current k with
+      | Some t -> t
+      | None -> Kernel.spawn k ()
+    in
+    let b = Kernel.spawn k () in
+    Kernel.switch_to k b;
+    Kernel.user_run k ~instrs:2000;
+    let cur = ref b in
+    { m_name = "context-switch";
+      m_what =
+        "one scheduler switch between two resident tasks (segment-register \
+         reload, task-struct and stack traffic)";
+      m_translations_per_op = 0;
+      m_op =
+        (fun () ->
+          let next = if !cur == a then b else a in
+          cur := next;
+          Kernel.switch_to k next) }
+  in
+  [ warm; miss; ctxsw ]
+
+(* ---------------------------------------------------------- measuring *)
+
+let run ?(quota_s = 0.5) ~machine ~seed () =
+  let open Bechamel in
+  let ms = micros ~machine ~seed in
+  let tests =
+    List.map (fun m -> Test.make ~name:m.m_name (Staged.stage m.m_op)) ms
+  in
+  let grouped = Test.make_grouped ~name:"perfstat" tests in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota_s) () in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0
+      ~predictors:[| Bechamel.Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let estimate_for name =
+    let found = ref None in
+    Hashtbl.iter
+      (fun key v ->
+        (* grouped test keys may carry a "group/" prefix *)
+        let leaf =
+          match String.rindex_opt key '/' with
+          | Some i -> String.sub key (i + 1) (String.length key - i - 1)
+          | None -> key
+        in
+        if leaf = name then
+          match Analyze.OLS.estimates v with
+          | Some (e :: _) -> found := Some e
+          | Some [] | None -> ())
+      results;
+    !found
+  in
+  List.filter_map
+    (fun m ->
+      match estimate_for m.m_name with
+      | None -> None
+      | Some ns ->
+          let ns = Float.max ns 0.001 in
+          let ops = 1e9 /. ns in
+          Some
+            { r_name = m.m_name;
+              r_what = m.m_what;
+              r_ns_per_op = ns;
+              r_ops_per_sec = ops;
+              r_translations_per_op = m.m_translations_per_op;
+              r_translations_per_sec =
+                float_of_int m.m_translations_per_op *. ops })
+    ms
+
+(* ---------------------------------------------------------- document *)
+
+type entry = {
+  e_label : string;
+  e_recorded : string;  (* free text: date / commit context *)
+  e_results : result list;
+}
+
+type doc = {
+  b_machine : string;  (* Machine.slug *)
+  b_seed : int;
+  b_tolerance : float;
+  b_history : entry list;  (* oldest first; last entry is the gate *)
+}
+
+let round2 f = Float.round (f *. 100.) /. 100.
+
+let result_to_json r =
+  Json.Obj
+    ([ ("name", Json.String r.r_name);
+       ("what", Json.String r.r_what);
+       ("ns_per_op", Json.Float (round2 r.r_ns_per_op));
+       ("ops_per_sec", Json.Float (Float.round r.r_ops_per_sec)) ]
+    @
+    if r.r_translations_per_op = 0 then []
+    else
+      [ ("translations_per_op", Json.Int r.r_translations_per_op);
+        ( "translations_per_sec",
+          Json.Float (Float.round r.r_translations_per_sec) ) ])
+
+let entry_to_json e =
+  Json.Obj
+    [ ("label", Json.String e.e_label);
+      ("recorded", Json.String e.e_recorded);
+      ("micros", Json.List (List.map result_to_json e.e_results)) ]
+
+let doc_to_json d =
+  Json.Obj
+    [ ("schema", Json.String schema);
+      ("machine", Json.String d.b_machine);
+      ("seed", Json.Int d.b_seed);
+      ("tolerance", Json.Float d.b_tolerance);
+      ("history", Json.List (List.map entry_to_json d.b_history)) ]
+
+let micros_json results = Json.List (List.map result_to_json results)
+
+let result_of_json j =
+  let str k = Option.bind (Json.member k j) Json.to_string_opt in
+  let num k = Option.bind (Json.member k j) Json.to_float_opt in
+  match (str "name", num "ns_per_op", num "ops_per_sec") with
+  | Some name, Some ns, Some ops ->
+      let tpo =
+        match Option.bind (Json.member "translations_per_op" j) Json.to_int_opt
+        with
+        | Some n -> n
+        | None -> 0
+      in
+      Ok
+        { r_name = name;
+          r_what = (match str "what" with Some w -> w | None -> "");
+          r_ns_per_op = ns;
+          r_ops_per_sec = ops;
+          r_translations_per_op = tpo;
+          r_translations_per_sec =
+            (match num "translations_per_sec" with
+            | Some t -> t
+            | None -> 0.) }
+  | _ -> Error "micro entry needs \"name\", \"ns_per_op\", \"ops_per_sec\""
+
+let entry_of_json j =
+  let ( let* ) r f = Result.bind r f in
+  let* micros_j =
+    match Json.member "micros" j with
+    | Some (Json.List l) -> Ok l
+    | _ -> Error "history entry without a \"micros\" list"
+  in
+  let* results =
+    List.fold_left
+      (fun acc m ->
+        let* acc = acc in
+        let* r = result_of_json m in
+        Ok (r :: acc))
+      (Ok []) micros_j
+  in
+  Ok
+    { e_label =
+        (match Option.bind (Json.member "label" j) Json.to_string_opt with
+        | Some l -> l
+        | None -> "unlabeled");
+      e_recorded =
+        (match Option.bind (Json.member "recorded" j) Json.to_string_opt with
+        | Some r -> r
+        | None -> "");
+      e_results = List.rev results }
+
+let doc_of_json j =
+  let ( let* ) r f = Result.bind r f in
+  let* history_j =
+    match Json.member "history" j with
+    | Some (Json.List l) -> Ok l
+    | Some _ -> Error "\"history\" is not a list"
+    | None -> Error "missing \"history\""
+  in
+  let* history =
+    List.fold_left
+      (fun acc e ->
+        let* acc = acc in
+        let* entry = entry_of_json e in
+        Ok (entry :: acc))
+      (Ok []) history_j
+  in
+  Ok
+    { b_machine =
+        (match Option.bind (Json.member "machine" j) Json.to_string_opt with
+        | Some m -> m
+        | None -> "ppc604-185");
+      b_seed =
+        (match Option.bind (Json.member "seed" j) Json.to_int_opt with
+        | Some s -> s
+        | None -> 42);
+      b_tolerance =
+        (match Option.bind (Json.member "tolerance" j) Json.to_float_opt with
+        | Some t -> t
+        | None -> default_tolerance);
+      b_history = List.rev history }
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+      match Json.of_string text with
+      | Error e -> Error (path ^ ": " ^ e)
+      | Ok j -> (
+          match doc_of_json j with
+          | Error e -> Error (path ^ ": " ^ e)
+          | Ok d -> Ok d))
+
+let save path d =
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Json.to_string (doc_to_json d) ^ "\n"))
+
+(* -------------------------------------------------------------- gate *)
+
+type verdict = {
+  v_name : string;
+  v_committed_ops : float;
+  v_measured_ops : float;
+  v_ratio : float;  (* measured / committed; < 1 is a slowdown *)
+  v_floor : float;  (* 1 - tolerance *)
+  v_ok : bool;
+}
+
+let gate ?tolerance doc results =
+  match List.rev doc.b_history with
+  | [] -> []
+  | last :: _ ->
+      let tol =
+        match tolerance with Some t -> t | None -> doc.b_tolerance
+      in
+      let floor = 1.0 -. tol in
+      List.filter_map
+        (fun committed ->
+          match
+            List.find_opt (fun r -> r.r_name = committed.r_name)
+              results
+          with
+          | None -> None
+          | Some measured ->
+              let ratio =
+                if committed.r_ops_per_sec <= 0. then 1.0
+                else measured.r_ops_per_sec /. committed.r_ops_per_sec
+              in
+              Some
+                { v_name = committed.r_name;
+                  v_committed_ops = committed.r_ops_per_sec;
+                  v_measured_ops = measured.r_ops_per_sec;
+                  v_ratio = ratio;
+                  v_floor = floor;
+                  v_ok = ratio >= floor })
+        last.e_results
+
+let gate_ok verdicts = List.for_all (fun v -> v.v_ok) verdicts

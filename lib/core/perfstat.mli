@@ -1,0 +1,88 @@
+(** Simulator throughput as a product: bechamel micros over the hot
+    paths ([Mmu.access] warm hit, TLB-miss reload, context switch), the
+    committed [BENCH_throughput.json] trajectory document, and the
+    one-sided regression gate behind [mmu_sim check --bench].
+
+    Unlike everything else in the repo these numbers measure the
+    {e simulator's} wall clock, not the simulated machine's, so they
+    are not deterministic per seed.  The document therefore keeps an
+    append-only history of measurements (the trajectory) and the gate
+    compares fresh numbers against the {e last} entry with a generous
+    relative band — see docs/PERFORMANCE.md for how to run, read and
+    re-baseline it. *)
+
+val schema : string
+(** ["mmu-tricks/bench-v1"]. *)
+
+val default_tolerance : float
+(** Gate band when the document does not carry a ["tolerance"] field
+    (0.6: the gate trips when a micro drops below 40% of the committed
+    ops/sec — wide enough for shared-CI host variance, tight enough for
+    the "hot path grew its allocations back" regression class). *)
+
+(** One measured micro. *)
+type result = {
+  r_name : string;  (** "warm-access", "tlb-miss-reload", "context-switch" *)
+  r_what : string;  (** what one op drives *)
+  r_ns_per_op : float;
+  r_ops_per_sec : float;
+  r_translations_per_op : int;
+      (** exact [Mmu] translations per op; 0 when the micro is not a
+          translation micro (context switch) *)
+  r_translations_per_sec : float;  (** 0 when not a translation micro *)
+}
+
+val miss_pages : int
+(** Pages the TLB-miss micro cycles over (512 — more than any modeled
+    TLB holds, so every op misses). *)
+
+val run :
+  ?quota_s:float -> machine:Ppc.Machine.t -> seed:int -> unit -> result list
+(** Boot fresh kernels and measure every micro ([quota_s] of bechamel
+    sampling each, default 0.5).  Results come back in micro order. *)
+
+(** {1 The trajectory document} *)
+
+type entry = {
+  e_label : string;  (** what changed, e.g. "flat hot path (PR 6)" *)
+  e_recorded : string;  (** free text: date / commit context *)
+  e_results : result list;
+}
+
+type doc = {
+  b_machine : string;  (** {!Ppc.Machine.slug} of the measured model *)
+  b_seed : int;
+  b_tolerance : float;
+  b_history : entry list;  (** oldest first; the last entry is gated on *)
+}
+
+val doc_to_json : doc -> Json.t
+val doc_of_json : Json.t -> (doc, string) Stdlib.result
+
+val micros_json : result list -> Json.t
+(** Just the measured micros as a JSON list — what [bench --json]
+    embeds in the results document under ["micros"]. *)
+
+val load : string -> (doc, string) Stdlib.result
+val save : string -> doc -> unit
+
+(** {1 The gate} *)
+
+(** One micro's verdict against the last committed entry. *)
+type verdict = {
+  v_name : string;
+  v_committed_ops : float;
+  v_measured_ops : float;
+  v_ratio : float;  (** measured / committed; < 1 is a slowdown *)
+  v_floor : float;  (** pass floor: [1 - tolerance] *)
+  v_ok : bool;
+}
+
+val gate : ?tolerance:float -> doc -> result list -> verdict list
+(** Compare fresh measurements against the document's last history
+    entry, one-sided: a micro fails only when its measured ops/sec
+    falls below [committed * (1 - tolerance)].  Improvements always
+    pass (append a new history entry to record them).  Micros present
+    in only one of the two sides are skipped. *)
+
+val gate_ok : verdict list -> bool

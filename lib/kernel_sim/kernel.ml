@@ -186,9 +186,7 @@ let boot ~machine ~policy ?(seed = 42) ?shadow () =
 
 (* A kernel access must always resolve; the linear map covers all RAM. *)
 let kaccess t kind ea =
-  match Mmu.access t.k_mmu kind ea with
-  | Mmu.Ok _ -> ()
-  | Mmu.Fault -> raise (Kernel_fault ea)
+  if Mmu.access_pa t.k_mmu kind ea < 0 then raise (Kernel_fault ea)
 
 (* Run a kernel code path: [instrs] cycles of instructions with one
    I-fetch per 8 instructions from the path's text region, plus the given
@@ -567,17 +565,12 @@ let handle_user_fault t kind ea =
 let touch t kind ea =
   maybe_tick t;
   if Segment.is_kernel_ea ea then kaccess t kind ea
-  else
-    match Mmu.access t.k_mmu kind ea with
-    | Mmu.Ok _ -> ()
-    | Mmu.Fault -> begin
-        (match handle_user_fault t kind ea with
-        | () -> ()
-        | exception Cow_broken -> ());
-        match Mmu.access t.k_mmu kind ea with
-        | Mmu.Ok _ -> ()
-        | Mmu.Fault -> raise (Segfault ea)
-      end
+  else if Mmu.access_pa t.k_mmu kind ea < 0 then begin
+    (match handle_user_fault t kind ea with
+    | () -> ()
+    | exception Cow_broken -> ());
+    if Mmu.access_pa t.k_mmu kind ea < 0 then raise (Segfault ea)
+  end
 
 let user_run t ~instrs =
   let task = require_current t in

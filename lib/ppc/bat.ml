@@ -34,19 +34,44 @@ let clear t ~index = t.(index).valid <- false
 
 let clear_all t = Array.iter (fun e -> e.valid <- false) t
 
-let translate t ea =
-  (* Four entries: a linear scan models the parallel compare. *)
-  let rec loop i =
-    if i >= n_registers then None
-    else
-      let e = t.(i) in
-      if e.valid && ea land lnot (e.length - 1) land Addr.ea_mask = e.base_ea
-      then Some (e.phys_base lor (ea land (e.length - 1)))
-      else loop (i + 1)
-  in
-  loop 0
+(* Four entries: a linear scan models the parallel compare.  Returns
+   the physical address or -1 — the MMU's hit path uses this form so a
+   BAT hit builds no option.  Top-level recursion: an inner loop would
+   heap-allocate its closure on every translation without flambda. *)
+let[@inline always] entry_match e ea =
+  e.valid && ea land lnot (e.length - 1) land Addr.ea_mask = e.base_ea
 
-let covers t ea = translate t ea <> None
+let[@inline always] entry_pa e ea = e.phys_base lor (ea land (e.length - 1))
+
+let rec scan (t : t) ea i =
+  if i >= n_registers then -1
+  else
+    let e = t.(i) in
+    if entry_match e ea then entry_pa e ea else scan t ea (i + 1)
+
+(* [t] always has exactly [n_registers] entries ([create] is the only
+   constructor), so the four probes are unrolled with [unsafe_get]; the
+   common case on a user access is four [valid = false] loads. *)
+let translate_pa (t : t) ea =
+  if Array.length t <> n_registers then scan t ea 0
+  else
+    let e = Array.unsafe_get t 0 in
+    if entry_match e ea then entry_pa e ea
+    else
+      let e = Array.unsafe_get t 1 in
+      if entry_match e ea then entry_pa e ea
+      else
+        let e = Array.unsafe_get t 2 in
+        if entry_match e ea then entry_pa e ea
+        else
+          let e = Array.unsafe_get t 3 in
+          if entry_match e ea then entry_pa e ea else -1
+
+let translate t ea =
+  let pa = translate_pa t ea in
+  if pa < 0 then None else Some pa
+
+let covers t ea = translate_pa t ea >= 0
 
 let valid_count t =
   Array.fold_left (fun acc e -> if e.valid then acc + 1 else acc) 0 t

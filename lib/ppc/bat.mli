@@ -39,6 +39,10 @@ val translate : t -> Addr.ea -> Addr.pa option
 (** [translate t ea] is [Some pa] when a valid BAT covers [ea] — in which
     case the page translation (TLB, htab) is bypassed. *)
 
+val translate_pa : t -> Addr.ea -> int
+(** [translate] returning the physical address directly, or [-1] when no
+    valid BAT covers [ea] — the MMU's allocation-free form. *)
+
 val covers : t -> Addr.ea -> bool
 (** [covers t ea] = [translate t ea <> None]. *)
 

@@ -58,22 +58,54 @@ let capacity_lines t = t.n_sets * t.n_ways
 
 let set_of t line = line land (t.n_sets - 1)
 
-(* Find the hit way, a free way and the LRU way of the set in one scan. *)
-let scan_set t base line =
-  let hit_way = ref (-1) in
-  let free_way = ref (-1) in
-  let lru = ref max_int in
-  let lru_way = ref 0 in
-  for w = 0 to t.n_ways - 1 do
-    let i = base + w in
-    if t.tags.(i) = line then hit_way := w
-    else if t.tags.(i) < 0 && !free_way < 0 then free_way := w;
-    if t.stamps.(i) < !lru then begin
-      lru := t.stamps.(i);
-      lru_way := w
-    end
-  done;
-  (!hit_way, !free_way, !lru_way)
+(* The set scans are top-level int recursions — no refs, no returned
+   tuple, and no inner [let rec] (which would heap-allocate a closure
+   per call without flambda) — so a hit allocates nothing. *)
+
+(* The [int array] annotations matter: an unconstrained [tags] would
+   generalize these scans to ['a array], turning every [=] into a
+   [caml_equal] C call and every [unsafe_get] into a float-array check. *)
+let rec tag_scan (tags : int array) (line : int) base w n =
+  if w >= n then -1
+  else if tags.(base + w) = line then base + w
+  else tag_scan tags line base (w + 1) n
+
+(* Unrolled 4-way probe.  [unsafe_get] is justified by construction:
+   callers pass [base = set * n_ways] with [set < n_sets], so
+   [base + 3 < n_sets * n_ways = Array.length tags].  Unrolling matters:
+   even as a tail call the generic scan costs several ns per way, and
+   every simulated memory reference lands here. *)
+let[@inline always] scan4 (tags : int array) base (line : int) =
+  if Array.unsafe_get tags base = line then base
+  else if Array.unsafe_get tags (base + 1) = line then base + 1
+  else if Array.unsafe_get tags (base + 2) = line then base + 2
+  else if Array.unsafe_get tags (base + 3) = line then base + 3
+  else -1
+
+(* Flat slot index of the hit, or -1.  Every machine in [Machine.all]
+   has a 4- or 8-way cache; anything else takes the generic scan. *)
+let hit_slot t base line =
+  match t.n_ways with
+  | 4 -> scan4 t.tags base line
+  | 8 ->
+      let i = scan4 t.tags base line in
+      if i >= 0 then i else scan4 t.tags (base + 4) line
+  | n -> tag_scan t.tags line base 0 n
+
+(* Way to fill on a miss: the first free way, else the LRU way (strict
+   [<] on stamps, first minimal index wins). *)
+let rec fill_scan (tags : int array) (stamps : int array) base w n free lru
+    lru_way =
+  if w >= n then if free >= 0 then free else lru_way
+  else begin
+    let free = if free < 0 && tags.(base + w) < 0 then w else free in
+    let s = stamps.(base + w) in
+    if s < lru then fill_scan tags stamps base (w + 1) n free s w
+    else fill_scan tags stamps base (w + 1) n free lru lru_way
+  end
+
+let fill_way t base =
+  fill_scan t.tags t.stamps base 0 t.n_ways (-1) max_int 0
 
 let fill t ~source ~write i line =
   let src = source_index source in
@@ -90,35 +122,29 @@ let access t ~source ~inhibited ~write pa =
   else begin
     let line = Addr.line_index pa in
     let base = set_of t line * t.n_ways in
-    let hit_way, free_way, lru_way = scan_set t base line in
+    let i = hit_slot t base line in
     t.tick <- t.tick + 1;
-    if hit_way >= 0 then begin
-      let i = base + hit_way in
+    if i >= 0 then begin
       t.stamps.(i) <- t.tick;
       if write then t.dirty.(i) <- true;
       Hit
     end
     else if t.locked then Bypass
-    else
-      let w = if free_way >= 0 then free_way else lru_way in
-      fill t ~source ~write (base + w) line
+    else fill t ~source ~write (base + fill_way t base) line
   end
 
 let allocate_zero t ~source pa =
   let line = Addr.line_index pa in
   let base = set_of t line * t.n_ways in
-  let hit_way, free_way, lru_way = scan_set t base line in
+  let i = hit_slot t base line in
   t.tick <- t.tick + 1;
-  if hit_way >= 0 then begin
-    let i = base + hit_way in
+  if i >= 0 then begin
     t.stamps.(i) <- t.tick;
     t.dirty.(i) <- true;
     Hit
   end
   else if t.locked then Bypass
-  else
-    let w = if free_way >= 0 then free_way else lru_way in
-    fill t ~source ~write:true (base + w) line
+  else fill t ~source ~write:true (base + fill_way t base) line
 
 let contains t pa =
   let line = Addr.line_index pa in

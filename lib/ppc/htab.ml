@@ -2,11 +2,24 @@ type t = {
   ptegs : int;
   base : Addr.pa;
   entries : Pte.t array;  (* pteg-major: entries.(pteg * 8 + slot) *)
+  tags : int array;
+      (* flat probe tags, one per slot: (vsid << 16) | page_index for a
+         valid entry, -1 otherwise.  The probe loops compare one int per
+         slot instead of touching three fields of a [Pte.t] record; the
+         invariant [tags.(i) >= 0 <=> entries.(i).valid] is maintained by
+         every function here that writes a valid bit (all valid-bit
+         writes in the repo live in this module). *)
   mutable cursor : int;   (* reclaim scan position *)
 }
 
 let slots_per_pteg = 8
 let pte_bytes = 8
+
+(* The search tag for (vsid, page_index).  [write_entry] masks what it
+   stores, so a stored tag is always built from masked fields; searching
+   with an unmasked VSID/page-index simply never matches — exactly the
+   behaviour of [Pte.matches] on the record fields. *)
+let tag_of ~vsid ~page_index = (vsid lsl 16) lor page_index
 
 let create ?(base_pa = 0x00100000) ~n_ptes () =
   let ptegs = n_ptes / slots_per_pteg in
@@ -15,6 +28,7 @@ let create ?(base_pa = 0x00100000) ~n_ptes () =
   { ptegs;
     base = base_pa;
     entries = Array.init n_ptes (fun _ -> Pte.invalid ());
+    tags = Array.make n_ptes (-1);
     cursor = 0 }
 
 let n_ptegs t = t.ptegs
@@ -29,26 +43,32 @@ let hash1 t ~vsid ~page_index =
 
 let hash2 t ~primary = Pte.hash_secondary ~n_ptegs:t.ptegs ~primary
 
-(* Search one PTEG for a matching entry, reporting each slot examined. *)
-let search_pteg t ~pteg ~vsid ~page_index ~on_ref =
+(* Search one PTEG for a matching tag, reporting each slot examined.
+   Returns the flat slot index, or -1.  Top-level recursion so the probe
+   loop is not a per-call closure allocation. *)
+let rec probe_scan (tags : int array) (tag : int) base pa0
+    (on_ref : int -> unit) slot =
+  if slot >= slots_per_pteg then -1
+  else begin
+    on_ref (pa0 + (slot * pte_bytes));
+    if tags.(base + slot) = tag then base + slot
+    else probe_scan tags tag base pa0 on_ref (slot + 1)
+  end
+
+let search_pteg_slot t ~pteg ~tag ~on_ref =
   let base = pteg * slots_per_pteg in
-  let rec loop slot =
-    if slot >= slots_per_pteg then None
-    else begin
-      on_ref (pte_pa t ~pteg ~slot);
-      let pte = t.entries.(base + slot) in
-      if Pte.matches pte ~vsid ~page_index then Some pte else loop (slot + 1)
-    end
-  in
-  loop 0
+  probe_scan t.tags tag base (t.base + (base * pte_bytes)) on_ref 0
+
+let search_slot t ~vsid ~page_index ~on_ref =
+  let tag = tag_of ~vsid ~page_index in
+  let p = hash1 t ~vsid ~page_index in
+  let i = search_pteg_slot t ~pteg:p ~tag ~on_ref in
+  if i >= 0 then i
+  else search_pteg_slot t ~pteg:(hash2 t ~primary:p) ~tag ~on_ref
 
 let search t ~vsid ~page_index ~on_ref =
-  let p = hash1 t ~vsid ~page_index in
-  match search_pteg t ~pteg:p ~vsid ~page_index ~on_ref with
-  | Some _ as hit -> hit
-  | None ->
-      let s = hash2 t ~primary:p in
-      search_pteg t ~pteg:s ~vsid ~page_index ~on_ref
+  let i = search_slot t ~vsid ~page_index ~on_ref in
+  if i < 0 then None else Some t.entries.(i)
 
 let search_counted t ~vsid ~page_index ~on_ref =
   let n = ref 0 in
@@ -70,21 +90,22 @@ type insert_outcome =
 
 (* Find a reusable slot in a PTEG: an entry with the same tag (update in
    place) or an invalid slot.  Reports references. *)
-let find_free t ~pteg ~vsid ~page_index ~on_ref =
+let find_free t ~pteg ~tag ~on_ref =
   let base = pteg * slots_per_pteg in
   let free = ref (-1) in
   let same = ref (-1) in
   for slot = 0 to slots_per_pteg - 1 do
     on_ref (pte_pa t ~pteg ~slot);
-    let pte = t.entries.(base + slot) in
-    if Pte.matches pte ~vsid ~page_index then same := slot
-    else if (not pte.Pte.valid) && !free < 0 then free := slot
+    let stored = t.tags.(base + slot) in
+    if stored = tag then same := slot
+    else if stored < 0 && !free < 0 then free := slot
   done;
   if !same >= 0 then Some !same else if !free >= 0 then Some !free else None
 
 let write_entry t ~pteg ~slot ~secondary ~vsid ~page_index ~rpn ~wimg
     ~protection =
-  let e = t.entries.((pteg * slots_per_pteg) + slot) in
+  let i = (pteg * slots_per_pteg) + slot in
+  let e = t.entries.(i) in
   e.Pte.valid <- true;
   e.Pte.vsid <- vsid land 0xFFFFFF;
   e.Pte.page_index <- page_index land 0xFFFF;
@@ -93,7 +114,8 @@ let write_entry t ~pteg ~slot ~secondary ~vsid ~page_index ~rpn ~wimg
   e.Pte.referenced <- true;
   e.Pte.changed <- false;
   e.Pte.wimg <- wimg;
-  e.Pte.protection <- protection
+  e.Pte.protection <- protection;
+  t.tags.(i) <- tag_of ~vsid:e.Pte.vsid ~page_index:e.Pte.page_index
 
 (* Second-chance victim selection over the 16 candidate slots: an
    unreferenced entry if one exists, else strip every R bit and choose
@@ -146,15 +168,16 @@ let pick_victim_zombie t ~rng ~is_zombie ~primary ~secondary ~on_ref =
 
 let insert ?(policy = Arbitrary) t ~rng ~vsid ~page_index ~rpn ~wimg
     ~protection ~on_ref =
+  let tag = tag_of ~vsid ~page_index in
   let p = hash1 t ~vsid ~page_index in
-  match find_free t ~pteg:p ~vsid ~page_index ~on_ref with
+  match find_free t ~pteg:p ~tag ~on_ref with
   | Some slot ->
       write_entry t ~pteg:p ~slot ~secondary:false ~vsid ~page_index ~rpn
         ~wimg ~protection;
       Filled_empty
   | None -> begin
       let s = hash2 t ~primary:p in
-      match find_free t ~pteg:s ~vsid ~page_index ~on_ref with
+      match find_free t ~pteg:s ~tag ~on_ref with
       | Some slot ->
           write_entry t ~pteg:s ~slot ~secondary:true ~vsid ~page_index ~rpn
             ~wimg ~protection;
@@ -188,11 +211,13 @@ let insert ?(policy = Arbitrary) t ~rng ~vsid ~page_index ~rpn ~wimg
     end
 
 let invalidate_page t ~vsid ~page_index ~on_ref =
-  match search t ~vsid ~page_index ~on_ref with
-  | Some pte ->
-      pte.Pte.valid <- false;
-      true
-  | None -> false
+  let i = search_slot t ~vsid ~page_index ~on_ref in
+  if i < 0 then false
+  else begin
+    t.entries.(i).Pte.valid <- false;
+    t.tags.(i) <- -1;
+    true
+  end
 
 let reclaim_zombies t ~is_zombie ~max_ptes ~on_ref =
   let total = capacity t in
@@ -206,15 +231,18 @@ let reclaim_zombies t ~is_zombie ~max_ptes ~on_ref =
     let pte = t.entries.(i) in
     if pte.Pte.valid && is_zombie pte.Pte.vsid then begin
       pte.Pte.valid <- false;
+      t.tags.(i) <- -1;
       incr reclaimed
     end
   done;
   !reclaimed
 
 let occupancy t =
-  Array.fold_left
-    (fun n pte -> if pte.Pte.valid then n + 1 else n)
-    0 t.entries
+  let n = ref 0 in
+  for i = 0 to Array.length t.tags - 1 do
+    if t.tags.(i) >= 0 then incr n
+  done;
+  !n
 
 let count_valid t ~f =
   Array.fold_left
@@ -226,6 +254,7 @@ let iter_valid t ~f =
 
 let clear t =
   Array.iter (fun pte -> pte.Pte.valid <- false) t.entries;
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
   t.cursor <- 0
 
 let histogram t =
@@ -233,7 +262,7 @@ let histogram t =
   for pteg = 0 to t.ptegs - 1 do
     let valid = ref 0 in
     for slot = 0 to slots_per_pteg - 1 do
-      if t.entries.((pteg * slots_per_pteg) + slot).Pte.valid then incr valid
+      if t.tags.((pteg * slots_per_pteg) + slot) >= 0 then incr valid
     done;
     h.(!valid) <- h.(!valid) + 1
   done;

@@ -108,6 +108,51 @@ let instructions t n =
 
 let stall t n = charge t n
 
+(* Either timeline sampler armed?  While true, fused charges must fall
+   back to the historical charge-by-charge sequence so samples keep
+   firing at the same cycle counts with the same intermediate counter
+   values (experiment tables average over sample contents). *)
+let sampling t =
+  t.trace.Trace.next_sample <> max_int
+  || t.profile.Profile.next_sample <> max_int
+
+(* One fused trap charge: counters end up identical to
+   [stall t stall; instructions t instr], with a single sampler check
+   instead of two.  Used to batch the reload sequence's back-to-back
+   stall + handler-instruction charges. *)
+let instructions_stall t ~instr ~stall:stall_cycles =
+  if sampling t then begin
+    if stall_cycles > 0 then stall t stall_cycles;
+    if instr > 0 then instructions t instr
+  end
+  else if instr + stall_cycles > 0 then begin
+    t.perf.Perf.instructions <- t.perf.Perf.instructions + instr;
+    charge t (instr + stall_cycles)
+  end
+
+(* [instructions t instr; data_ref t ... pa] fused into one charge on
+   the cache-access cost — the per-slot cost of a software htab probe
+   (a few compare/branch instructions riding on the PTE load). *)
+let data_ref_instr t ~instr ~source ~inhibited ~write pa =
+  if sampling t then begin
+    instructions t instr;
+    data_ref t ~source ~inhibited ~write pa
+  end
+  else begin
+    t.perf.Perf.instructions <- t.perf.Perf.instructions + instr;
+    let p = t.perf in
+    p.Perf.dcache_accesses <- p.Perf.dcache_accesses + 1;
+    match Cache.access t.dcache ~source ~inhibited ~write pa with
+    | Cache.Hit -> charge t (instr + Cost.cache_hit_cycles)
+    | Cache.Miss { dirty_writeback } ->
+        p.Perf.dcache_misses <- p.Perf.dcache_misses + 1;
+        charge t (instr + t.machine.Machine.mem_latency);
+        charge_writeback t dirty_writeback
+    | Cache.Bypass ->
+        p.Perf.dcache_bypasses <- p.Perf.dcache_bypasses + 1;
+        charge t (instr + t.machine.Machine.mem_latency)
+  end
+
 let copy_lines t ~source ~src ~dst ~bytes =
   let lines = (bytes + Addr.line_size - 1) / Addr.line_size in
   for i = 0 to lines - 1 do

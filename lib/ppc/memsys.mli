@@ -68,6 +68,30 @@ val stall : t -> int -> unit
 (** [stall t n] charges [n] raw cycles (trap overheads, fixed hardware
     costs). *)
 
+val sampling : t -> bool
+(** Whether either timeline sampler (trace or profile) is armed.  While
+    true the fused charges below take the historical charge-by-charge
+    sequence, so sample timing and contents are byte-identical to the
+    unfused calls; counters are identical either way. *)
+
+val instructions_stall : t -> instr:int -> stall:int -> unit
+(** [instructions_stall t ~instr ~stall] is
+    [stall t stall; instructions t instr] fused into one charge (one
+    sampler check) — the reload sequence's trap stall plus handler path
+    length batched together. *)
+
+val data_ref_instr :
+  t ->
+  instr:int ->
+  source:Cache.source ->
+  inhibited:bool ->
+  write:bool ->
+  Addr.pa ->
+  unit
+(** [data_ref_instr t ~instr ...] is [instructions t instr] fused into
+    the following {!data_ref}'s charge — the software htab probe's
+    per-slot compare/branch cost riding on the PTE load. *)
+
 val copy_lines : t -> source:Cache.source -> src:Addr.pa -> dst:Addr.pa -> bytes:int -> unit
 (** [copy_lines t ~source ~src ~dst ~bytes] models a block copy at
     cache-line granularity: one read reference per source line and one

@@ -47,6 +47,12 @@ type t = {
   mutable is_kernel_vsid : int -> bool;
   mutable shadow : Shadow.t option;
   rng : Rng.t;
+  (* The [on_ref] callbacks the reload path hands to the htab and
+     page-table walkers, built once at [create] — partially applying the
+     helpers on every reload would allocate a closure per miss. *)
+  mutable on_pt_ref : Addr.pa -> unit;
+  mutable on_htab_ref : Addr.pa -> unit;
+  mutable on_sw_htab_ref : Addr.pa -> unit;
 }
 
 (* Physical address region where the C handlers save/restore state. *)
@@ -58,53 +64,6 @@ let handler_stack_pa = 0x0000_8000
    calls then disarm; negative = skip every one.  Costs are still
    charged, so an armed-but-never-triggering run stays byte-identical. *)
 let test_skip_tlb_invalidations = ref 0
-
-let create ?(htab_base_pa = 0x0030_0000) ~machine ~memsys ~knobs ~backing ~rng
-    () =
-  let engine = Reload_engine.select ~machine ~use_htab:knobs.use_htab in
-  (* A hardware-reload machine cannot bypass the htab; the knob records
-     what the selected backend actually does. *)
-  let knobs = { knobs with use_htab = Reload_engine.uses_htab engine } in
-  let tlb_of (g : Machine.tlb_geometry) =
-    Tlb.create ~sets:g.Machine.tlb_sets ~ways:g.Machine.tlb_ways
-  in
-  let t =
-    { machine;
-      memsys;
-      knobs;
-      engine;
-      seg = Segment.create ();
-      ibat = Bat.create ();
-      dbat = Bat.create ();
-      itlb = tlb_of machine.Machine.itlb;
-      dtlb = tlb_of machine.Machine.dtlb;
-      htab =
-        (if Reload_engine.uses_htab engine then
-           Some
-             (Htab.create ~base_pa:htab_base_pa
-                ~n_ptes:machine.Machine.htab_ptes ())
-         else None);
-      backing;
-      is_zombie = (fun _ -> false);
-      is_kernel_vsid = (fun _ -> false);
-      shadow = None;
-      rng }
-  in
-  (* Wire the attribution profiler's machine-shape hooks.  The closures
-     read [t]'s mutable predicates at call time, so the kernel can
-     install liveness/ownership tests after boot. *)
-  let prof = Memsys.profile memsys in
-  Profile.set_tlb_capacity prof (Tlb.capacity t.itlb + Tlb.capacity t.dtlb);
-  (match t.htab with
-  | None -> ()
-  | Some h ->
-      Profile.set_htab_source prof (fun () ->
-          { Profile.h_cycle = (Memsys.perf memsys).Perf.cycles;
-            h_valid = Htab.occupancy h;
-            h_capacity = Htab.capacity h;
-            h_zombie = Htab.count_valid h ~f:(fun p -> t.is_zombie p.Pte.vsid);
-            h_chains = Htab.histogram h }));
-  t
 
 let machine t = t.machine
 let memsys t = t.memsys
@@ -147,10 +106,14 @@ let htab_ref t pa =
     ~inhibited:t.knobs.cache_inhibit_pagetables ~write:false pa
 
 (* Software examination of a PTE costs a few compare/branch instructions
-   on top of the memory reference; hardware search does not. *)
+   on top of the memory reference; hardware search does not.  The two
+   charges ride in one fused call. *)
 let sw_htab_ref t pa =
-  Memsys.instructions t.memsys 4;
-  htab_ref t pa
+  (perf t).Perf.mem_refs <- (perf t).Perf.mem_refs + 1;
+  Memsys.data_ref_instr t.memsys ~instr:4 ~source:Cache.Htab
+    ~inhibited:t.knobs.cache_inhibit_pagetables ~write:false pa
+
+let noop_ref (_ : Addr.pa) = ()
 
 (* Handler path length: fast assembly vs original C with state save. *)
 let handler t ~fast ~slow ~slow_stack_refs =
@@ -163,6 +126,59 @@ let handler t ~fast ~slow ~slow_stack_refs =
         (handler_stack_pa + (i * Addr.line_size))
     done
   end
+
+let create ?(htab_base_pa = 0x0030_0000) ~machine ~memsys ~knobs ~backing ~rng
+    () =
+  let engine = Reload_engine.select ~machine ~use_htab:knobs.use_htab in
+  (* A hardware-reload machine cannot bypass the htab; the knob records
+     what the selected backend actually does. *)
+  let knobs = { knobs with use_htab = Reload_engine.uses_htab engine } in
+  let tlb_of (g : Machine.tlb_geometry) =
+    Tlb.create ~sets:g.Machine.tlb_sets ~ways:g.Machine.tlb_ways
+  in
+  let t =
+    { machine;
+      memsys;
+      knobs;
+      engine;
+      seg = Segment.create ();
+      ibat = Bat.create ();
+      dbat = Bat.create ();
+      itlb = tlb_of machine.Machine.itlb;
+      dtlb = tlb_of machine.Machine.dtlb;
+      htab =
+        (if Reload_engine.uses_htab engine then
+           Some
+             (Htab.create ~base_pa:htab_base_pa
+                ~n_ptes:machine.Machine.htab_ptes ())
+         else None);
+      backing;
+      is_zombie = (fun _ -> false);
+      is_kernel_vsid = (fun _ -> false);
+      shadow = None;
+      rng;
+      on_pt_ref = noop_ref;
+      on_htab_ref = noop_ref;
+      on_sw_htab_ref = noop_ref }
+  in
+  t.on_pt_ref <- pt_ref t;
+  t.on_htab_ref <- htab_ref t;
+  t.on_sw_htab_ref <- sw_htab_ref t;
+  (* Wire the attribution profiler's machine-shape hooks.  The closures
+     read [t]'s mutable predicates at call time, so the kernel can
+     install liveness/ownership tests after boot. *)
+  let prof = Memsys.profile memsys in
+  Profile.set_tlb_capacity prof (Tlb.capacity t.itlb + Tlb.capacity t.dtlb);
+  (match t.htab with
+  | None -> ()
+  | Some h ->
+      Profile.set_htab_source prof (fun () ->
+          { Profile.h_cycle = (Memsys.perf memsys).Perf.cycles;
+            h_valid = Htab.occupancy h;
+            h_capacity = Htab.capacity h;
+            h_zombie = Htab.count_valid h ~f:(fun p -> t.is_zombie p.Pte.vsid);
+            h_chains = Htab.histogram h }));
+  t
 
 (* --- the reference translator ----------------------------------------- *)
 
@@ -201,7 +217,9 @@ let shadow_kind = function
   | Store -> Shadow.Store
 
 (* Cross-validate one finished access against the reference translator.
-   [ea] is already masked.  Free when no shadow is attached. *)
+   [ea] is already masked; [pa] is the fast path's physical address with
+   -1 meaning "faulted".  The option is only built once a shadow is
+   known to be attached, so the unshadowed hit path allocates nothing. *)
 let shadow_check t kind ea ~pa ~inhibited ~answered =
   match t.shadow with
   | None -> ()
@@ -210,7 +228,10 @@ let shadow_check t kind ea ~pa ~inhibited ~answered =
         ~pid:(Trace.current_pid (trace t))
         ~vsid:(Segment.vsid_for t.seg ea)
         ~ea ~kind:(shadow_kind kind)
-        ~fast:{ Shadow.pa; inhibited; answered }
+        ~fast:
+          { Shadow.pa = (if pa < 0 then None else Some pa);
+            inhibited;
+            answered }
         ~reference:(reference_outcome t kind ea)
 
 (* --- reload paths ---------------------------------------------------- *)
@@ -221,10 +242,10 @@ let shadow_check t kind ea ~pa ~inhibited ~answered =
 let walk_and_fill t ~vsid ~ea ~page_index ~store =
   match t.backing.walk ea with
   | Unmapped { pt_refs } ->
-      Array.iter (pt_ref t) pt_refs;
+      Array.iter t.on_pt_ref pt_refs;
       None
   | Mapped { rpn; wimg; protection; pt_refs } ->
-      Array.iter (pt_ref t) pt_refs;
+      Array.iter t.on_pt_ref pt_refs;
       (match t.htab with
       | None -> ()
       | Some h ->
@@ -241,7 +262,7 @@ let walk_and_fill t ~vsid ~ea ~page_index ~store =
           in
           (match
              Htab.insert h ~policy ~rng:t.rng ~vsid ~page_index ~rpn ~wimg
-               ~protection ~on_ref:(htab_ref t)
+               ~protection ~on_ref:t.on_htab_ref
            with
           | Htab.Filled_empty ->
               (* "we updated the page-table PTE dirty/modified bits when
@@ -249,9 +270,7 @@ let walk_and_fill t ~vsid ~ea ~page_index ~store =
                  reload, C eagerly for stores, so a later flush is a pure
                  invalidate. *)
               if store then
-                (match
-                   Htab.search h ~vsid ~page_index ~on_ref:(fun _ -> ())
-                 with
+                (match Htab.search h ~vsid ~page_index ~on_ref:noop_ref with
                 | Some pte -> pte.Pte.changed <- true
                 | None -> ())
           | Htab.Replaced victim ->
@@ -273,7 +292,7 @@ let walk_and_fill t ~vsid ~ea ~page_index ~store =
 let search_htab t h ~vsid ~page_index ~software =
   let p = perf t in
   p.Perf.htab_searches <- p.Perf.htab_searches + 1;
-  let on_ref = if software then sw_htab_ref t else htab_ref t in
+  let on_ref = if software then t.on_sw_htab_ref else t.on_htab_ref in
   let tr = trace t in
   let hit, probe_len =
     (* the counted variant drives the same references in the same order;
@@ -300,27 +319,61 @@ let reload_handler t =
 
 (* One generic reload sequence driven by the selected backend's cost
    row; the per-style branching lives in [Reload_engine.cost_table], not
-   here.  Returns the translation plus which structure produced it. *)
+   here.  Returns the translation plus which structure produced it.
+
+   With the fast handlers selected and no timeline sampler armed, the
+   back-to-back charges of each trap (entry stall + handler path length
+   + hash setup; miss trap + fill handler) are batched into one
+   [Memsys.instructions_stall] each — counter-identical, fewer sampler
+   checks.  The slow-handler generation keeps the charge-by-charge
+   sequence: its state save interleaves data references. *)
 let reload t ~vsid ~ea ~store =
   let page_index = Addr.page_index ea in
-  let c = t.engine |> Reload_engine.costs in
-  if c.Reload_engine.entry_stall_cycles > 0 then
-    Memsys.stall t.memsys c.Reload_engine.entry_stall_cycles;
-  if c.Reload_engine.handler_on_entry then reload_handler t;
+  let c = Reload_engine.costs t.engine in
+  let batched = t.knobs.fast_reload && not (Memsys.sampling t.memsys) in
   let fill () =
-    if c.Reload_engine.miss_trap_cycles > 0 then
-      Memsys.stall t.memsys c.Reload_engine.miss_trap_cycles;
-    if c.Reload_engine.handler_on_miss then reload_handler t;
+    if batched then
+      Memsys.instructions_stall t.memsys
+        ~instr:
+          (if c.Reload_engine.handler_on_miss then Cost.sw_reload_fast_instr
+           else 0)
+        ~stall:c.Reload_engine.miss_trap_cycles
+    else begin
+      if c.Reload_engine.miss_trap_cycles > 0 then
+        Memsys.stall t.memsys c.Reload_engine.miss_trap_cycles;
+      if c.Reload_engine.handler_on_miss then reload_handler t
+    end;
     match walk_and_fill t ~vsid ~ea ~page_index ~store with
     | None -> None
     | Some (rpn, wimg, protection) ->
         Some (rpn, wimg, protection, Shadow.Page_table)
   in
+  let entry_instr =
+    if c.Reload_engine.handler_on_entry then Cost.sw_reload_fast_instr else 0
+  in
   match t.htab with
-  | None -> fill ()
+  | None ->
+      if batched then
+        Memsys.instructions_stall t.memsys ~instr:entry_instr
+          ~stall:c.Reload_engine.entry_stall_cycles
+      else begin
+        if c.Reload_engine.entry_stall_cycles > 0 then
+          Memsys.stall t.memsys c.Reload_engine.entry_stall_cycles;
+        if c.Reload_engine.handler_on_entry then reload_handler t
+      end;
+      fill ()
   | Some h -> begin
-      if c.Reload_engine.hash_setup_instr > 0 then
-        Memsys.instructions t.memsys c.Reload_engine.hash_setup_instr;
+      if batched then
+        Memsys.instructions_stall t.memsys
+          ~instr:(entry_instr + c.Reload_engine.hash_setup_instr)
+          ~stall:c.Reload_engine.entry_stall_cycles
+      else begin
+        if c.Reload_engine.entry_stall_cycles > 0 then
+          Memsys.stall t.memsys c.Reload_engine.entry_stall_cycles;
+        if c.Reload_engine.handler_on_entry then reload_handler t;
+        if c.Reload_engine.hash_setup_instr > 0 then
+          Memsys.instructions t.memsys c.Reload_engine.hash_setup_instr
+      end;
       match
         search_htab t h ~vsid ~page_index
           ~software:c.Reload_engine.software_search
@@ -353,117 +406,120 @@ let count_miss t kind =
 let source_of_ea ea =
   if Segment.is_kernel_ea ea then Cache.Kernel else Cache.User
 
-let access t kind ea =
+(* The TLB miss: everything below the [Tlb.lookup_slot] fast exit.
+   Kept out of [access_pa] so the hit path stays small. *)
+let access_miss t kind ea ~vsid ~vpn ~tlb ~source ~store =
+  count_miss t kind;
+  let tr = trace t in
+  let traced = Trace.enabled tr in
+  let pr = profile t in
+  let profiling = Profile.enabled pr in
+  let miss_start = if traced || profiling then (perf t).Perf.cycles else 0 in
+  let htab_misses_before =
+    if profiling then (perf t).Perf.htab_misses else 0
+  in
+  if traced then
+    Trace.emit tr
+      (match kind with
+      | Fetch -> Trace.Itlb_miss
+      | Load | Store -> Trace.Dtlb_miss)
+      ~a:ea ~b:0;
+  let reloaded = reload t ~vsid ~ea ~store in
+  (* Attribution: the full reload service cost is charged to the
+     owning (pid, segment) under the TLB kind; a reload that also
+     missed the htab is charged again under the htab kind.
+     Observation only — no cycles, no cache traffic, no RNG. *)
+  if profiling then begin
+    let cost = (perf t).Perf.cycles - miss_start in
+    let pid = Trace.current_pid tr in
+    let seg = Addr.sr_index ea in
+    let page = Addr.page_base ea in
+    let mk =
+      match kind with
+      | Fetch -> Profile.Itlb
+      | Load | Store -> Profile.Dtlb
+    in
+    Profile.charge_miss pr ~pid ~seg ~page ~kind:mk ~cost;
+    if (perf t).Perf.htab_misses > htab_misses_before then
+      Profile.charge_miss pr ~pid ~seg ~page ~kind:Profile.Htab_miss ~cost
+  end;
+  match reloaded with
+  | None ->
+      shadow_check t kind ea ~pa:(-1) ~inhibited:false
+        ~answered:Shadow.No_translation;
+      -1
+  | Some (rpn, wimg, protection, answered) ->
+      let inhibited = wimg.Pte.cache_inhibited in
+      let writable =
+        match protection with
+        | Pte.Read_write -> true
+        | Pte.Read_only | Pte.No_access -> false
+      in
+      let victim_vpn = Tlb.insert_flat tlb ~vpn ~rpn ~inhibited ~writable in
+      if traced then begin
+        if victim_vpn >= 0 then
+          Trace.emit tr Trace.Tlb_evict ~a:victim_vpn
+            ~b:(Addr.vsid_of_vpn victim_vpn);
+        Trace.emit_tlb_service tr ~ea
+          ~cost:((perf t).Perf.cycles - miss_start)
+      end;
+      (* kernel-vs-user slot census, taken while the TLB contents
+         are freshest (right after the fill) *)
+      if profiling then
+        Profile.note_tlb_census pr
+          ~kernel:(kernel_tlb_entries t ~is_kernel_vsid:t.is_kernel_vsid)
+          ~occupied:(tlb_occupancy t);
+      if store && not writable then begin
+        shadow_check t kind ea ~pa:(-1) ~inhibited:false ~answered;
+        -1
+      end
+      else begin
+        let pa = Addr.pa_of ~rpn ~ea in
+        final_ref t kind pa ~inhibited ~source;
+        shadow_check t kind ea ~pa ~inhibited ~answered;
+        pa
+      end
+
+(* One access, returning the physical address or -1 on a fault.  This is
+   the hot path: on a TLB hit (no shadow attached) it allocates nothing —
+   flat TLB slot reads, an int physical address out. *)
+let access_pa t kind ea =
   let ea = ea land Addr.ea_mask in
   let source = source_of_ea ea in
   let bat = match kind with Fetch -> t.ibat | Load | Store -> t.dbat in
-  match Bat.translate bat ea with
-  | Some pa ->
-      let tr = trace t in
-      if Trace.enabled tr then Trace.emit tr Trace.Bat_hit ~a:ea ~b:0;
-      final_ref t kind pa ~inhibited:false ~source;
-      shadow_check t kind ea ~pa:(Some pa) ~inhibited:false
-        ~answered:Shadow.Bat;
-      Ok pa
-  | None -> begin
-      let vsid = Segment.vsid_for t.seg ea in
-      let vpn = Addr.vpn_of ~vsid ~ea in
-      let tlb = match kind with Fetch -> t.itlb | Load | Store -> t.dtlb in
-      count_lookup t kind;
-      match Tlb.lookup tlb vpn with
-      | Some e ->
-          if kind = Store && not e.Tlb.writable then begin
-            shadow_check t kind ea ~pa:None ~inhibited:false
-              ~answered:Shadow.Tlb;
-            Fault
-          end
-          else begin
-            let pa = Addr.pa_of ~rpn:e.Tlb.rpn ~ea in
-            final_ref t kind pa ~inhibited:e.Tlb.inhibited ~source;
-            shadow_check t kind ea ~pa:(Some pa) ~inhibited:e.Tlb.inhibited
-              ~answered:Shadow.Tlb;
-            Ok pa
-          end
-      | None -> begin
-          count_miss t kind;
-          let tr = trace t in
-          let traced = Trace.enabled tr in
-          let pr = profile t in
-          let profiling = Profile.enabled pr in
-          let miss_start =
-            if traced || profiling then (perf t).Perf.cycles else 0
-          in
-          let htab_misses_before =
-            if profiling then (perf t).Perf.htab_misses else 0
-          in
-          if traced then
-            Trace.emit tr
-              (match kind with
-              | Fetch -> Trace.Itlb_miss
-              | Load | Store -> Trace.Dtlb_miss)
-              ~a:ea ~b:0;
-          let reloaded = reload t ~vsid ~ea ~store:(kind = Store) in
-          (* Attribution: the full reload service cost is charged to the
-             owning (pid, segment) under the TLB kind; a reload that also
-             missed the htab is charged again under the htab kind.
-             Observation only — no cycles, no cache traffic, no RNG. *)
-          if profiling then begin
-            let cost = (perf t).Perf.cycles - miss_start in
-            let pid = Trace.current_pid tr in
-            let seg = Addr.sr_index ea in
-            let page = Addr.page_base ea in
-            let mk =
-              match kind with
-              | Fetch -> Profile.Itlb
-              | Load | Store -> Profile.Dtlb
-            in
-            Profile.charge_miss pr ~pid ~seg ~page ~kind:mk ~cost;
-            if (perf t).Perf.htab_misses > htab_misses_before then
-              Profile.charge_miss pr ~pid ~seg ~page ~kind:Profile.Htab_miss
-                ~cost
-          end;
-          match reloaded with
-          | None ->
-              shadow_check t kind ea ~pa:None ~inhibited:false
-                ~answered:Shadow.No_translation;
-              Fault
-          | Some (rpn, wimg, protection, answered) ->
-              let entry =
-                { Tlb.vpn;
-                  rpn;
-                  inhibited = wimg.Pte.cache_inhibited;
-                  writable = protection = Pte.Read_write }
-              in
-              if traced then begin
-                (match Tlb.insert_replacing tlb entry with
-                | None -> ()
-                | Some victim ->
-                    Trace.emit tr Trace.Tlb_evict ~a:victim.Tlb.vpn
-                      ~b:(Addr.vsid_of_vpn victim.Tlb.vpn));
-                Trace.emit_tlb_service tr ~ea
-                  ~cost:((perf t).Perf.cycles - miss_start)
-              end
-              else Tlb.insert tlb entry;
-              (* kernel-vs-user slot census, taken while the TLB contents
-                 are freshest (right after the fill) *)
-              if profiling then
-                Profile.note_tlb_census pr
-                  ~kernel:
-                    (kernel_tlb_entries t ~is_kernel_vsid:t.is_kernel_vsid)
-                  ~occupied:(tlb_occupancy t);
-              if kind = Store && not entry.Tlb.writable then begin
-                shadow_check t kind ea ~pa:None ~inhibited:false ~answered;
-                Fault
-              end
-              else begin
-                let pa = Addr.pa_of ~rpn ~ea in
-                final_ref t kind pa ~inhibited:entry.Tlb.inhibited ~source;
-                shadow_check t kind ea ~pa:(Some pa)
-                  ~inhibited:entry.Tlb.inhibited ~answered;
-                Ok pa
-              end
-        end
-    end
+  let bat_pa = Bat.translate_pa bat ea in
+  if bat_pa >= 0 then begin
+    let tr = trace t in
+    if Trace.enabled tr then Trace.emit tr Trace.Bat_hit ~a:ea ~b:0;
+    final_ref t kind bat_pa ~inhibited:false ~source;
+    shadow_check t kind ea ~pa:bat_pa ~inhibited:false ~answered:Shadow.Bat;
+    bat_pa
+  end
+  else begin
+    let vsid = Segment.vsid_for t.seg ea in
+    let vpn = Addr.vpn_of ~vsid ~ea in
+    let tlb = match kind with Fetch -> t.itlb | Load | Store -> t.dtlb in
+    let store = match kind with Store -> true | Fetch | Load -> false in
+    count_lookup t kind;
+    let slot = Tlb.lookup_slot tlb vpn in
+    if slot >= 0 then
+      if store && not (Tlb.slot_writable tlb slot) then begin
+        shadow_check t kind ea ~pa:(-1) ~inhibited:false ~answered:Shadow.Tlb;
+        -1
+      end
+      else begin
+        let inhibited = Tlb.slot_inhibited tlb slot in
+        let pa = Addr.pa_of ~rpn:(Tlb.slot_rpn tlb slot) ~ea in
+        final_ref t kind pa ~inhibited ~source;
+        shadow_check t kind ea ~pa ~inhibited ~answered:Shadow.Tlb;
+        pa
+      end
+    else access_miss t kind ea ~vsid ~vpn ~tlb ~source ~store
+  end
+
+let access t kind ea =
+  let pa = access_pa t kind ea in
+  if pa < 0 then Fault else Ok pa
 
 (* --- flush and idle-task operations ---------------------------------- *)
 
@@ -495,7 +551,7 @@ let flush_page_for_vsid t ~vsid ea =
       p.Perf.flush_pte_searches <- p.Perf.flush_pte_searches + 1;
       ignore
         (Htab.invalidate_page h ~vsid ~page_index:(Addr.page_index ea)
-           ~on_ref:(htab_ref t)
+           ~on_ref:t.on_htab_ref
           : bool)
 
 let flush_page t ea =
@@ -512,7 +568,7 @@ let reclaim_zombies t ~max_ptes =
   | Some h ->
       let reclaimed =
         Htab.reclaim_zombies h ~is_zombie:t.is_zombie ~max_ptes
-          ~on_ref:(htab_ref t)
+          ~on_ref:t.on_htab_ref
       in
       let p = perf t in
       p.Perf.zombies_reclaimed <- p.Perf.zombies_reclaimed + reclaimed;

@@ -131,6 +131,12 @@ val access : t -> access_kind -> Addr.ea -> access_result
     costs (trap overheads, handler path lengths, table-search and
     page-walk cache traffic, and the final data/instruction reference). *)
 
+val access_pa : t -> access_kind -> Addr.ea -> int
+(** {!access} returning the physical address directly, or [-1] on a
+    fault.  This is the allocation-free form the kernel's access loops
+    use: on a TLB hit with no shadow attached, nothing is built on the
+    heap.  [access] is a thin wrapper around it. *)
+
 val probe : t -> access_kind -> Addr.ea -> Addr.pa option
 (** [probe t kind ea] is the translation the architecture defines for
     [ea], computed with {e no} cost charging and {e no} state mutation —

@@ -5,14 +5,25 @@ type entry = {
   writable : bool;
 }
 
-(* Slots hold [entry option]; [stamp] implements LRU via a global tick. *)
+(* The store is four parallel flat int arrays rather than an
+   [entry option array]: a VPN of -1 marks an invalid way (real VPNs are
+   tag-encoded and never negative), [flags] packs the two booleans, and
+   [stamps] implements LRU via a global tick.  The layout makes
+   [lookup_slot]/[insert_flat] — the MMU's hot path — allocation-free;
+   the [entry]-returning functions below are wrappers kept for probing,
+   tests and the trace layer. *)
 type t = {
   n_sets : int;
   n_ways : int;
-  slots : entry option array;  (* set-major: slot = set * ways + way *)
+  vpns : int array;    (* set-major: slot = set * ways + way; -1 invalid *)
+  rpns : int array;
+  flags : int array;   (* bit 0 = inhibited, bit 1 = writable *)
   stamps : int array;
   mutable tick : int;
 }
+
+let flag_inhibited = 1
+let flag_writable = 2
 
 let create ~sets ~ways =
   if sets <= 0 || sets land (sets - 1) <> 0 then
@@ -20,7 +31,9 @@ let create ~sets ~ways =
   if ways <= 0 then invalid_arg "Tlb.create: ways must be positive";
   { n_sets = sets;
     n_ways = ways;
-    slots = Array.make (sets * ways) None;
+    vpns = Array.make (sets * ways) (-1);
+    rpns = Array.make (sets * ways) 0;
+    flags = Array.make (sets * ways) 0;
     stamps = Array.make (sets * ways) 0;
     tick = 0 }
 
@@ -30,77 +43,143 @@ let capacity t = t.n_sets * t.n_ways
 
 let set_of t vpn = vpn land (t.n_sets - 1)
 
-let lookup t vpn =
+(* --- the flat (allocation-free) interface --------------------------- *)
+
+(* The scans are top-level recursions over explicit arguments, not inner
+   [let rec] loops: without flambda an inner loop that captures its
+   environment is a fresh heap closure on every call — the very
+   allocation this layout exists to avoid. *)
+
+(* [int array] annotations keep the scans monomorphic: unconstrained
+   parameters would generalize to ['a array] and compile [=] into a
+   [caml_equal] C call per way. *)
+let rec scan_vpn (vpns : int array) (vpn : int) base w n =
+  if w >= n then -1
+  else if vpns.(base + w) = vpn then base + w
+  else scan_vpn vpns vpn base (w + 1) n
+
+(* Every TLB in [Machine.all] is 2-way; the unrolled probe saves the
+   per-way loop cost on the hottest comparison in the simulator.
+   [unsafe_get] is in bounds by construction: [base = set * n_ways] with
+   [set < n_sets], so [base + 1 < n_sets * n_ways]. *)
+let[@inline always] find_slot t vpn =
   let base = set_of t vpn * t.n_ways in
-  let rec loop w =
-    if w >= t.n_ways then None
-    else
-      match t.slots.(base + w) with
-      | Some e when e.vpn = vpn ->
-          t.tick <- t.tick + 1;
-          t.stamps.(base + w) <- t.tick;
-          Some e
-      | Some _ | None -> loop (w + 1)
-  in
-  loop 0
+  if t.n_ways = 2 then
+    if Array.unsafe_get t.vpns base = vpn then base
+    else if Array.unsafe_get t.vpns (base + 1) = vpn then base + 1
+    else -1
+  else scan_vpn t.vpns vpn base 0 t.n_ways
+
+let lookup_slot t vpn =
+  let i = find_slot t vpn in
+  if i >= 0 then begin
+    t.tick <- t.tick + 1;
+    t.stamps.(i) <- t.tick
+  end;
+  i
+
+let peek_slot t vpn = find_slot t vpn
+
+let slot_vpn t i = t.vpns.(i)
+let slot_rpn t i = t.rpns.(i)
+let slot_inhibited t i = t.flags.(i) land flag_inhibited <> 0
+let slot_writable t i = t.flags.(i) land flag_writable <> 0
+
+(* Victim way for an insert: a same-VPN slot (update in place,
+   unconditionally preferred), else the first invalid way, else the LRU
+   way (strict [<] on stamps, so the first minimal index wins ties).
+   Written as a recursion over ints so the scan allocates nothing. *)
+let rec victim_scan (vpns : int array) (stamps : int array) (vpn : int) base
+    w n victim lru lru_way =
+  if w >= n then if victim >= 0 then victim else lru_way
+  else begin
+    let v = vpns.(base + w) in
+    let victim =
+      if v = vpn then w else if v < 0 && victim < 0 then w else victim
+    in
+    let s = stamps.(base + w) in
+    if s < lru then victim_scan vpns stamps vpn base (w + 1) n victim s w
+    else victim_scan vpns stamps vpn base (w + 1) n victim lru lru_way
+  end
+
+let victim_way t base vpn =
+  victim_scan t.vpns t.stamps vpn base 0 t.n_ways (-1) max_int 0
+
+let insert_flat t ~vpn ~rpn ~inhibited ~writable =
+  let base = set_of t vpn * t.n_ways in
+  let i = base + victim_way t base vpn in
+  let old = t.vpns.(i) in
+  let displaced = if old = vpn then -1 else old in
+  t.tick <- t.tick + 1;
+  t.vpns.(i) <- vpn;
+  t.rpns.(i) <- rpn;
+  t.flags.(i) <-
+    (if inhibited then flag_inhibited else 0)
+    lor if writable then flag_writable else 0;
+  t.stamps.(i) <- t.tick;
+  displaced
+
+(* --- the entry-record interface ------------------------------------- *)
+
+let entry_of_slot t i =
+  { vpn = t.vpns.(i);
+    rpn = t.rpns.(i);
+    inhibited = slot_inhibited t i;
+    writable = slot_writable t i }
+
+let lookup t vpn =
+  let i = lookup_slot t vpn in
+  if i < 0 then None else Some (entry_of_slot t i)
 
 let peek t vpn =
-  let base = set_of t vpn * t.n_ways in
-  let rec loop w =
-    if w >= t.n_ways then None
-    else
-      match t.slots.(base + w) with
-      | Some e when e.vpn = vpn -> Some e
-      | Some _ | None -> loop (w + 1)
-  in
-  loop 0
+  let i = peek_slot t vpn in
+  if i < 0 then None else Some (entry_of_slot t i)
 
 let insert_replacing t e =
   let base = set_of t e.vpn * t.n_ways in
-  (* Prefer: same-VPN slot (update), then an invalid way, else LRU. *)
-  let victim = ref (-1) in
-  let lru = ref max_int in
-  let lru_way = ref 0 in
-  for w = 0 to t.n_ways - 1 do
-    (match t.slots.(base + w) with
-    | Some old when old.vpn = e.vpn -> victim := w
-    | None -> if !victim < 0 then victim := w
-    | Some _ -> ());
-    if t.stamps.(base + w) < !lru then begin
-      lru := t.stamps.(base + w);
-      lru_way := w
-    end
-  done;
-  let w = if !victim >= 0 then !victim else !lru_way in
+  let i = base + victim_way t base e.vpn in
   let displaced =
-    match t.slots.(base + w) with
-    | Some old when old.vpn <> e.vpn -> Some old
-    | Some _ | None -> None
+    if t.vpns.(i) >= 0 && t.vpns.(i) <> e.vpn then Some (entry_of_slot t i)
+    else None
   in
   t.tick <- t.tick + 1;
-  t.slots.(base + w) <- Some e;
-  t.stamps.(base + w) <- t.tick;
+  t.vpns.(i) <- e.vpn;
+  t.rpns.(i) <- e.rpn;
+  t.flags.(i) <-
+    (if e.inhibited then flag_inhibited else 0)
+    lor if e.writable then flag_writable else 0;
+  t.stamps.(i) <- t.tick;
   displaced
 
-let insert t e = ignore (insert_replacing t e : entry option)
+let insert t e =
+  ignore
+    (insert_flat t ~vpn:e.vpn ~rpn:e.rpn ~inhibited:e.inhibited
+       ~writable:e.writable
+      : int)
 
 let invalidate_page t vpn =
   let base = set_of t vpn * t.n_ways in
   for w = 0 to t.n_ways - 1 do
-    match t.slots.(base + w) with
-    | Some e when e.vpn = vpn -> t.slots.(base + w) <- None
-    | Some _ | None -> ()
+    if t.vpns.(base + w) = vpn then t.vpns.(base + w) <- -1
   done
 
-let invalidate_all t = Array.fill t.slots 0 (Array.length t.slots) None
+let invalidate_all t = Array.fill t.vpns 0 (Array.length t.vpns) (-1)
 
 let occupancy t =
-  Array.fold_left (fun n -> function Some _ -> n + 1 | None -> n) 0 t.slots
+  let n = ref 0 in
+  for i = 0 to Array.length t.vpns - 1 do
+    if t.vpns.(i) >= 0 then incr n
+  done;
+  !n
 
 let count_matching t p =
-  Array.fold_left
-    (fun n -> function Some e when p e.vpn -> n + 1 | Some _ | None -> n)
-    0 t.slots
+  let n = ref 0 in
+  for i = 0 to Array.length t.vpns - 1 do
+    if t.vpns.(i) >= 0 && p t.vpns.(i) then incr n
+  done;
+  !n
 
 let iter t f =
-  Array.iter (function Some e -> f e | None -> ()) t.slots
+  for i = 0 to Array.length t.vpns - 1 do
+    if t.vpns.(i) >= 0 then f (entry_of_slot t i)
+  done

@@ -63,3 +63,30 @@ val count_matching : t -> (Addr.vpn -> bool) -> int
 
 val iter : t -> (entry -> unit) -> unit
 (** Iterate over valid entries. *)
+
+(** {1 Flat interface}
+
+    The store is parallel flat int arrays; these accessors expose it
+    without building [entry] records or options, so the MMU's hit path
+    allocates nothing.  A slot index is only meaningful until the next
+    mutation of the TLB. *)
+
+val lookup_slot : t -> Addr.vpn -> int
+(** [lookup_slot t vpn] is {!lookup} returning the matching slot index,
+    or [-1] on a miss.  Refreshes LRU state on a hit. *)
+
+val peek_slot : t -> Addr.vpn -> int
+(** [lookup_slot] without the LRU side effect. *)
+
+val slot_vpn : t -> int -> Addr.vpn
+val slot_rpn : t -> int -> int
+val slot_inhibited : t -> int -> bool
+val slot_writable : t -> int -> bool
+(** Field reads of one (valid) slot returned by [lookup_slot]. *)
+
+val insert_flat :
+  t -> vpn:Addr.vpn -> rpn:int -> inhibited:bool -> writable:bool -> int
+(** {!insert_replacing} without the option/record traffic: returns the
+    VPN of the live entry it displaced, or [-1] when an invalid way was
+    filled or a same-VPN entry updated in place.  Victim selection is
+    identical to {!insert_replacing}. *)

@@ -1,0 +1,348 @@
+(* Equivalence of the flat (PR-6) hot-path layouts with the original
+   record/option semantics: the flat TLB must pick the same LRU victims
+   as the old [entry option array] implementation, the htab tag probe
+   must match exactly [Pte.matches], and the unrolled cache scans must
+   agree with a straightforward reference model. *)
+open Ppc
+
+(* --- reference model of the pre-flattening TLB ---------------------- *)
+
+(* The old implementation verbatim in miniature: one [entry option]
+   slot per way plus a stamp, victim = same-VPN slot, else first
+   invalid way, else strict-LRU ([<], first minimal index wins). *)
+module Ref_tlb = struct
+  type t = {
+    sets : int;
+    ways : int;
+    slots : Tlb.entry option array;
+    stamps : int array;
+    mutable tick : int;
+  }
+
+  let create ~sets ~ways =
+    { sets;
+      ways;
+      slots = Array.make (sets * ways) None;
+      stamps = Array.make (sets * ways) 0;
+      tick = 0 }
+
+  let set_of t vpn = vpn land (t.sets - 1)
+
+  let lookup t vpn =
+    let base = set_of t vpn * t.ways in
+    let found = ref None in
+    for w = 0 to t.ways - 1 do
+      match t.slots.(base + w) with
+      | Some e when e.Tlb.vpn = vpn && !found = None ->
+          t.tick <- t.tick + 1;
+          t.stamps.(base + w) <- t.tick;
+          found := Some e
+      | _ -> ()
+    done;
+    !found
+
+  let insert_replacing t e =
+    let base = set_of t e.Tlb.vpn * t.ways in
+    let victim = ref (-1) in
+    let lru = ref max_int in
+    let lru_way = ref 0 in
+    for w = 0 to t.ways - 1 do
+      (match t.slots.(base + w) with
+      | Some old when old.Tlb.vpn = e.Tlb.vpn -> victim := w
+      | None when !victim < 0 -> victim := w
+      | _ -> ());
+      if t.stamps.(base + w) < !lru then begin
+        lru := t.stamps.(base + w);
+        lru_way := w
+      end
+    done;
+    let w = if !victim >= 0 then !victim else !lru_way in
+    let displaced =
+      match t.slots.(base + w) with
+      | Some old when old.Tlb.vpn <> e.Tlb.vpn -> Some old
+      | _ -> None
+    in
+    t.tick <- t.tick + 1;
+    t.slots.(base + w) <- Some e;
+    t.stamps.(base + w) <- t.tick;
+    displaced
+
+  let invalidate_page t vpn =
+    Array.iteri
+      (fun i -> function
+        | Some e when e.Tlb.vpn = vpn -> t.slots.(i) <- None
+        | _ -> ())
+      t.slots
+
+  let occupancy t =
+    Array.fold_left
+      (fun n -> function Some _ -> n + 1 | None -> n)
+      0 t.slots
+end
+
+type op = Insert of Tlb.entry | Lookup of int | Invalidate of int
+
+let entry_eq a b =
+  a.Tlb.vpn = b.Tlb.vpn && a.Tlb.rpn = b.Tlb.rpn
+  && a.Tlb.inhibited = b.Tlb.inhibited
+  && a.Tlb.writable = b.Tlb.writable
+
+let opt_entry_eq a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b -> entry_eq a b
+  | _ -> false
+
+(* Small geometry (4 sets x 2 ways) and a VPN universe a few times the
+   capacity, so the sequence forces evictions, same-set conflicts and
+   same-VPN updates. *)
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [ ( 5,
+          map2
+            (fun vpn rpn ->
+              Insert
+                { Tlb.vpn;
+                  rpn;
+                  inhibited = rpn land 7 = 0;
+                  writable = rpn land 3 = 0 })
+            (int_bound 31) (int_bound 255) );
+        (3, map (fun vpn -> Lookup vpn) (int_bound 31));
+        (1, map (fun vpn -> Invalidate vpn) (int_bound 31)) ])
+
+let op_print = function
+  | Insert e -> Printf.sprintf "insert vpn=%d rpn=%d" e.Tlb.vpn e.Tlb.rpn
+  | Lookup v -> Printf.sprintf "lookup %d" v
+  | Invalidate v -> Printf.sprintf "invalidate %d" v
+
+let prop_tlb_matches_reference =
+  QCheck.Test.make ~name:"flat TLB == pre-flattening reference" ~count:300
+    (QCheck.make
+       ~print:(fun l -> String.concat "; " (List.map op_print l))
+       (QCheck.Gen.list_size (QCheck.Gen.int_range 1 120) op_gen))
+    (fun ops ->
+      let flat = Tlb.create ~sets:4 ~ways:2 in
+      let reference = Ref_tlb.create ~sets:4 ~ways:2 in
+      List.for_all
+        (fun op ->
+          match op with
+          | Insert e ->
+              let d_flat = Tlb.insert_replacing flat e in
+              let d_ref = Ref_tlb.insert_replacing reference e in
+              opt_entry_eq d_flat d_ref
+          | Lookup vpn ->
+              opt_entry_eq (Tlb.lookup flat vpn) (Ref_tlb.lookup reference vpn)
+          | Invalidate vpn ->
+              Tlb.invalidate_page flat vpn;
+              Ref_tlb.invalidate_page reference vpn;
+              Tlb.occupancy flat = Ref_tlb.occupancy reference)
+        ops)
+
+(* insert_flat is the allocation-free form of insert_replacing: same
+   victim, same displaced VPN (-1 standing for None / same-VPN update). *)
+let prop_insert_flat_matches_insert_replacing =
+  QCheck.Test.make ~name:"insert_flat == insert_replacing" ~count:300
+    (QCheck.make
+       ~print:(fun l -> String.concat "; " (List.map op_print l))
+       (QCheck.Gen.list_size (QCheck.Gen.int_range 1 120) op_gen))
+    (fun ops ->
+      let a = Tlb.create ~sets:4 ~ways:2 in
+      let b = Tlb.create ~sets:4 ~ways:2 in
+      List.for_all
+        (fun op ->
+          match op with
+          | Insert e ->
+              let d_a = Tlb.insert_replacing a e in
+              let d_b =
+                Tlb.insert_flat b ~vpn:e.Tlb.vpn ~rpn:e.Tlb.rpn
+                  ~inhibited:e.Tlb.inhibited ~writable:e.Tlb.writable
+              in
+              (match (d_a, d_b) with
+              | None, -1 -> true
+              | Some old, v -> old.Tlb.vpn = v
+              | None, _ -> false)
+          | Lookup vpn -> opt_entry_eq (Tlb.lookup a vpn) (Tlb.lookup b vpn)
+          | Invalidate vpn ->
+              Tlb.invalidate_page a vpn;
+              Tlb.invalidate_page b vpn;
+              true)
+        ops)
+
+(* The slot accessors must expose exactly what the entry wrappers see. *)
+let test_slot_accessors () =
+  let t = Tlb.create ~sets:4 ~ways:2 in
+  ignore (Tlb.insert_flat t ~vpn:9 ~rpn:77 ~inhibited:true ~writable:false : int);
+  let i = Tlb.peek_slot t 9 in
+  Alcotest.(check bool) "hit" true (i >= 0);
+  Alcotest.(check int) "vpn" 9 (Tlb.slot_vpn t i);
+  Alcotest.(check int) "rpn" 77 (Tlb.slot_rpn t i);
+  Alcotest.(check bool) "inhibited" true (Tlb.slot_inhibited t i);
+  Alcotest.(check bool) "writable" false (Tlb.slot_writable t i);
+  match Tlb.peek t 9 with
+  | Some e ->
+      Alcotest.(check bool) "wrapper agrees" true
+        (entry_eq e
+           { Tlb.vpn = 9; rpn = 77; inhibited = true; writable = false })
+  | None -> Alcotest.fail "peek lost the entry"
+
+(* --- htab tag probe vs Pte.matches ---------------------------------- *)
+
+let no_ref (_ : Addr.pa) = ()
+
+(* The tag probe must reproduce [Pte.matches] exactly, including its
+   behaviour on over-masked search keys: [write_entry] stores masked
+   fields, so a VSID above 24 bits or a page index above 16 bits can
+   never match a stored entry. *)
+let test_htab_tag_exactness () =
+  let h = Htab.create ~n_ptes:64 () in
+  let rng = Rng.create ~seed:7 in
+  let vsid = 0x123456 and page_index = 0xABC in
+  ignore
+    (Htab.insert h ~rng ~vsid ~page_index ~rpn:0x42 ~wimg:Pte.wimg_default ~protection:Pte.Read_write
+       ~on_ref:no_ref
+      : Htab.insert_outcome);
+  let found ~vsid ~page_index =
+    Htab.search h ~vsid ~page_index ~on_ref:no_ref <> None
+  in
+  Alcotest.(check bool) "exact key hits" true (found ~vsid ~page_index);
+  Alcotest.(check bool) "over-masked vsid misses" false
+    (found ~vsid:(vsid lor 0x1000000) ~page_index);
+  Alcotest.(check bool) "over-masked page index misses" false
+    (found ~vsid ~page_index:(page_index lor 0x10000));
+  Alcotest.(check bool) "wrong vsid misses" false
+    (found ~vsid:(vsid lxor 1) ~page_index)
+
+(* Random inserts: the probe-by-tag search must agree with a linear
+   [Pte.matches] scan over the whole table. *)
+let prop_htab_search_matches_linear_scan =
+  QCheck.Test.make ~name:"htab tag search == Pte.matches scan" ~count:100
+    QCheck.(
+      make
+        ~print:(fun l ->
+          String.concat ";"
+            (List.map (fun (v, p) -> Printf.sprintf "(%d,%d)" v p) l))
+        (Gen.list_size (Gen.int_range 1 40)
+           (Gen.pair (Gen.int_bound 0xFFFF) (Gen.int_bound 0xFF))))
+    (fun keys ->
+      let h = Htab.create ~n_ptes:64 () in
+      let rng = Rng.create ~seed:11 in
+      List.iter
+        (fun (vsid, page_index) ->
+          ignore
+            (Htab.insert h ~rng ~vsid ~page_index ~rpn:1 ~wimg:Pte.wimg_default ~protection:Pte.Read_only
+               ~on_ref:no_ref
+              : Htab.insert_outcome))
+        keys;
+      List.for_all
+        (fun (vsid, page_index) ->
+          let by_tag = Htab.search h ~vsid ~page_index ~on_ref:no_ref in
+          let by_scan = ref None in
+          Htab.iter_valid h ~f:(fun pte ->
+              if Pte.matches pte ~vsid ~page_index && !by_scan = None then
+                by_scan := Some pte);
+          match (by_tag, !by_scan) with
+          | None, None -> true
+          | Some a, Some b ->
+              a.Pte.vsid = b.Pte.vsid && a.Pte.page_index = b.Pte.page_index
+          | _ -> false)
+        keys)
+
+(* --- cache scans vs a reference model -------------------------------- *)
+
+module Ref_cache = struct
+  type t = {
+    sets : int;
+    ways : int;
+    tags : int option array;
+    dirty : bool array;
+    stamps : int array;
+    mutable tick : int;
+  }
+
+  let create ~sets ~ways =
+    { sets;
+      ways;
+      tags = Array.make (sets * ways) None;
+      dirty = Array.make (sets * ways) false;
+      stamps = Array.make (sets * ways) 0;
+      tick = 0 }
+
+  (* hit / miss(dirty writeback) in the old semantics *)
+  let access t ~write pa =
+    let line = pa lsr 5 in
+    let base = line land (t.sets - 1) * t.ways in
+    let hit = ref (-1) in
+    for w = 0 to t.ways - 1 do
+      if t.tags.(base + w) = Some line && !hit < 0 then hit := base + w
+    done;
+    t.tick <- t.tick + 1;
+    if !hit >= 0 then begin
+      t.stamps.(!hit) <- t.tick;
+      if write then t.dirty.(!hit) <- true;
+      `Hit
+    end
+    else begin
+      let free = ref (-1) in
+      let lru = ref max_int in
+      let lru_way = ref 0 in
+      for w = 0 to t.ways - 1 do
+        if !free < 0 && t.tags.(base + w) = None then free := w;
+        if t.stamps.(base + w) < !lru then begin
+          lru := t.stamps.(base + w);
+          lru_way := w
+        end
+      done;
+      let i = base + if !free >= 0 then !free else !lru_way in
+      let wb = t.tags.(i) <> None && t.dirty.(i) in
+      t.tags.(i) <- Some line;
+      t.dirty.(i) <- write;
+      t.stamps.(i) <- t.tick;
+      `Miss wb
+    end
+end
+
+(* Drive a real cache and the reference over the same random stream and
+   require the same hit/miss/writeback verdict at every step.  The three
+   geometries cover the unrolled 4-way probe, the split 8-way probe and
+   the generic fallback scan. *)
+let prop_cache_matches_reference geometry_name ~bytes ~ways =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "cache scans == reference model (%s)" geometry_name)
+    ~count:60
+    QCheck.(
+      make
+        ~print:(fun l ->
+          String.concat ";"
+            (List.map (fun (pa, w) -> Printf.sprintf "%x%c" pa
+                          (if w then 'w' else 'r')) l))
+        (Gen.list_size (Gen.int_range 1 200)
+           (Gen.pair (Gen.int_bound 0x7FFF) Gen.bool)))
+    (fun stream ->
+      let c = Cache.create ~bytes ~ways in
+      let sets = bytes / Addr.line_size / ways in
+      let r = Ref_cache.create ~sets ~ways in
+      List.for_all
+        (fun (pa, write) ->
+          let got =
+            Cache.access c ~source:Cache.User ~inhibited:false ~write pa
+          in
+          let want = Ref_cache.access r ~write pa in
+          match (got, want) with
+          | Cache.Hit, `Hit -> true
+          | Cache.Miss { dirty_writeback }, `Miss wb -> dirty_writeback = wb
+          | _ -> false)
+        stream)
+
+let suite =
+  [ Alcotest.test_case "flat slot accessors" `Quick test_slot_accessors;
+    Alcotest.test_case "htab tag exactness" `Quick test_htab_tag_exactness;
+    QCheck_alcotest.to_alcotest prop_tlb_matches_reference;
+    QCheck_alcotest.to_alcotest prop_insert_flat_matches_insert_replacing;
+    QCheck_alcotest.to_alcotest prop_htab_search_matches_linear_scan;
+    QCheck_alcotest.to_alcotest
+      (prop_cache_matches_reference "32K 4-way" ~bytes:(32 * 1024) ~ways:4);
+    QCheck_alcotest.to_alcotest
+      (prop_cache_matches_reference "16K 8-way" ~bytes:(16 * 1024) ~ways:8);
+    QCheck_alcotest.to_alcotest
+      (prop_cache_matches_reference "768B 3-way" ~bytes:768 ~ways:3) ]

@@ -34,4 +34,5 @@ let () =
       ("harness", Test_harness.suite);
       ("tuning", Test_tuning.suite);
       ("edges", Test_edges.suite);
+      ("flat-equiv", Test_flat_equiv.suite);
       ("reproduction", Test_reproduction.suite) ]
