@@ -670,6 +670,73 @@ let e16 ?(seed = 42) () =
         "eviction (the rejected design) fixes victims but pays liveness";
         "checks in the reload path; the idle task attacks the cause." ] }
 
+(* ----------------------------------------------------- E17 / E18 / E19 *)
+
+(* One experiment per service model: tail latency of the server-shaped
+   workload across MMU configurations.  The latency histograms are the
+   workload's own (always on), so these tables are byte-identical with
+   and without span recording; percentiles use the integer Hist.percentile
+   for the same reason.  (The issue sketch numbered these E15-E17, but
+   those ids were already taken by the htab sizing and replacement-policy
+   experiments, so the server suite is E17-E19.) *)
+
+let server_configs =
+  [ ("baseline", Policy.baseline);
+    ("optimized", Policy.optimized);
+    ("precise flush", Config.optimized_precise_flush);
+    ("no idle reclaim", Config.optimized_no_reclaim) ]
+
+let server_experiment ~id ~model ~seed ~notes =
+  let module Sv = Workloads.Server in
+  let params = { Sv.default_params with Sv.model } in
+  let mhz = Machine.ppc604_185.Machine.mhz in
+  let rows =
+    List.map
+      (fun (label, policy) ->
+        let r =
+          Sv.measure ~machine:Machine.ppc604_185 ~policy ~params ~seed
+            ~label ()
+        in
+        let pc p = Cost.us_of_cycles ~mhz (Hist.percentile r.Sv.hist p) in
+        [ label;
+          Report.fmt_int r.Sv.requests;
+          Report.fmt_us (pc 0.50);
+          Report.fmt_us (pc 0.99);
+          Report.fmt_us (pc 0.999);
+          Report.fmt_us (Cost.us_of_cycles ~mhz (Hist.max_value r.Sv.hist));
+          Report.fmt_ms (r.Sv.busy_us /. 1000.) ])
+      server_configs
+  in
+  { title =
+      Printf.sprintf "%s (server) - Request tail latency, %s service model"
+        id (Sv.model_name model);
+    header =
+      [ "config"; "requests"; "p50 us"; "p99 us"; "p999 us"; "max us";
+        "busy ms" ];
+    rows;
+    notes }
+
+let e17 ?(seed = 42) () =
+  server_experiment ~id:"E17" ~model:Workloads.Server.Fork_exec ~seed
+    ~notes:
+      [ "a process per request (inetd/CGI): every request pays fork +";
+        "exec + exit, so flush policy and VSID recycling sit directly on";
+        "the latency path and the tail amplifies them." ]
+
+let e18 ?(seed = 42) () =
+  server_experiment ~id:"E18" ~model:Workloads.Server.Pool ~seed
+    ~notes:
+      [ "pre-forked workers recycled every 32 requests: steady-state";
+        "switching, with periodic address-space churn off the request";
+        "path (the recycle happens between requests)." ]
+
+let e19 ?(seed = 42) () =
+  server_experiment ~id:"E19" ~model:Workloads.Server.Shared_mm ~seed
+    ~notes:
+      [ "thread-like workers share the dispatcher's address space: no";
+        "exec churn at all; what remains is switch cost and the working";
+        "set's TLB/htab footprint." ]
+
 (* ----------------------------------------------------------------- EX1 *)
 
 let ex1 ?(seed = 42) () =
@@ -1015,6 +1082,15 @@ let registry =
     spec "E16" "htab replacement policy vs idle reclaim" "sec 7"
       "ablation: arbitrary / second-chance / zombie-aware eviction \
        against the idle-task fix" e16;
+    spec "E17" "Server tail latency: fork/exec per request" "server"
+      "p50/p99/p999 completion latency per MMU config when every \
+       request forks, execs and exits" e17;
+    spec "E18" "Server tail latency: pre-forked pool" "server"
+      "tail latency per MMU config with recycled pool workers \
+       (MaxRequestsPerChild churn)" e18;
+    spec "E19" "Server tail latency: shared-mm threads" "server"
+      "tail latency per MMU config when workers share one address \
+       space" e19;
     spec "EX1" "LmBench across all modeled processors" "extra"
       "601-80 through 750-233 under the optimized kernel" ex1;
     spec "EX2" "Parallel make: I/O overlap vs -jN" "extra"

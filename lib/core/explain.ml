@@ -119,6 +119,91 @@ let attribution_lines ?(top = 3) doc ~id =
                kind count cost)
   | _ -> []
 
+(* --- span join -------------------------------------------------------- *)
+
+(* When both documents embed observability.spans for an experiment,
+   name the (config, request class) whose tail moved most: rank every
+   class's p999 change (falling back to p99 where p999 did not move)
+   by the same relative deviation the checker gates on. *)
+let span_tail_lines ?(top = 3) ~a_json ~b_json ~id () =
+  let spans_of doc =
+    Option.bind (experiment_json doc ~id) (fun e ->
+        Option.bind (Json.member "observability" e) (fun o ->
+            Option.bind (Json.member "spans" o) Json.to_list_opt))
+  in
+  let config r = Option.bind (Json.member "config" r) Json.to_string_opt in
+  (* (class, p999, p99) for the overall histogram and every class *)
+  let tails r =
+    let entry name h =
+      match
+        ( Option.bind (Json.member "p999" h) Json.to_int_opt,
+          Option.bind (Json.member "p99" h) Json.to_int_opt )
+      with
+      | Some p999, Some p99 -> Some (name, p999, p99)
+      | _ -> None
+    in
+    let overall =
+      Option.bind (Json.member "overall" r) (entry "overall")
+    in
+    let classes =
+      match Option.bind (Json.member "classes" r) Json.to_list_opt with
+      | None -> []
+      | Some cs ->
+          List.filter_map
+            (fun c ->
+              Option.bind
+                (Option.bind (Json.member "class" c) Json.to_string_opt)
+                (fun n -> entry n c))
+            cs
+    in
+    match overall with Some o -> o :: classes | None -> classes
+  in
+  match (spans_of a_json, spans_of b_json) with
+  | Some sa, Some sb ->
+      let moved =
+        List.concat_map
+          (fun ra ->
+            match config ra with
+            | None -> []
+            | Some cfg -> (
+                match List.find_opt (fun rb -> config rb = Some cfg) sb with
+                | None -> []
+                | Some rb ->
+                    let tb = tails rb in
+                    List.filter_map
+                      (fun (cls, a999, a99) ->
+                        match
+                          List.find_opt (fun (c, _, _) -> c = cls) tb
+                        with
+                        | None -> None
+                        | Some (_, b999, b99) ->
+                            let metric, av, bv =
+                              if a999 <> b999 then ("p999", a999, b999)
+                              else ("p99", a99, b99)
+                            in
+                            let rel =
+                              Baseline.rel_dev (float_of_int av)
+                                (float_of_int bv)
+                            in
+                            if rel > 0.0 then
+                              Some (cfg, cls, metric, av, bv, rel)
+                            else None)
+                      (tails ra)))
+          sa
+      in
+      let ranked =
+        List.sort
+          (fun (_, _, _, _, _, r1) (_, _, _, _, _, r2) -> compare r2 r1)
+          moved
+      in
+      List.filteri (fun i _ -> i < top) ranked
+      |> List.map (fun (cfg, cls, metric, av, bv, rel) ->
+             Printf.sprintf "%s %s %s: %d -> %d cycles (%s%.1f%%)" cfg cls
+               metric av bv
+               (if bv > av then "+" else "-")
+               (100.0 *. rel))
+  | _ -> []
+
 (* --- whole-document explanation --------------------------------------- *)
 
 type report = {
@@ -126,6 +211,9 @@ type report = {
   rep_attribution : string list;
       (* heaviest accounts of the experiment the delta belongs to, from
          whichever document embeds attribution (B wins) *)
+  rep_spans : string list;
+      (* the request classes whose tail moved most, when both documents
+         embed spans for this experiment *)
 }
 
 let explain_docs ?(top = 10) ~a_doc ~a_json ~b_doc ~b_json () =
@@ -148,7 +236,9 @@ let explain_docs ?(top = 10) ~a_doc ~a_json ~b_doc ~b_json () =
         | [] -> attribution_lines a_json ~id:d.x_id
         | l -> l
       in
-      { rep_delta = d; rep_attribution = attr })
+      { rep_delta = d;
+        rep_attribution = attr;
+        rep_spans = span_tail_lines ~a_json ~b_json ~id:d.x_id () })
     ranked
 
 let render_report r =
@@ -158,4 +248,7 @@ let render_report r =
   List.iter
     (fun line -> Buffer.add_string buf ("    attribution: " ^ line ^ "\n"))
     r.rep_attribution;
+  List.iter
+    (fun line -> Buffer.add_string buf ("    tail moved: " ^ line ^ "\n"))
+    r.rep_spans;
   Buffer.contents buf

@@ -35,11 +35,23 @@ val attribution_lines : ?top:int -> Json.t -> id:string -> string list
     experiment [id] in a raw results document, as human-readable lines;
     empty when the document carries no profile. *)
 
+val span_tail_lines :
+  ?top:int -> a_json:Json.t -> b_json:Json.t -> id:string -> unit ->
+  string list
+(** When both documents embed [observability.spans] for experiment
+    [id] (from [experiment --spans]): the [top] (default 3)
+    (config, request class) pairs whose tail latency moved most —
+    p999 compared first, p99 where p999 did not move — ranked by the
+    relative deviation [check] gates on.  Empty when either document
+    carries no spans. *)
+
 (** One ranked delta with the responsible accounts attached. *)
 type report = {
   rep_delta : delta;
   rep_attribution : string list;
       (** from whichever document embeds attribution (B preferred) *)
+  rep_spans : string list;
+      (** {!span_tail_lines} output when both documents embed spans *)
 }
 
 val explain_docs :

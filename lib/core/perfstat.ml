@@ -288,11 +288,13 @@ let doc_of_json j =
   in
   let* history =
     List.fold_left
-      (fun acc e ->
+      (fun acc (i, e) ->
         let* acc = acc in
-        let* entry = entry_of_json e in
-        Ok (entry :: acc))
-      (Ok []) history_j
+        match entry_of_json e with
+        | Ok entry -> Ok (entry :: acc)
+        | Error msg -> Error (Printf.sprintf "history[%d]: %s" i msg))
+      (Ok [])
+      (List.mapi (fun i e -> (i, e)) history_j)
   in
   Ok
     { b_machine =
@@ -323,6 +325,36 @@ let load path =
 let save path d =
   Out_channel.with_open_text path (fun oc ->
       output_string oc (Json.to_string (doc_to_json d) ^ "\n"))
+
+(* Semantic shape check over every committed history entry, beyond what
+   parsing enforces: appending to a document whose history is already
+   corrupt (empty micro lists, non-positive or non-finite rates) would
+   bury the rot under a fresh valid entry, and the gate only reads the
+   last one.  The error names the offending entry's index. *)
+let validate_history doc =
+  let bad_result r =
+    if r.r_name = "" then Some "a micro with an empty name"
+    else if (not (Float.is_finite r.r_ns_per_op)) || r.r_ns_per_op <= 0. then
+      Some (Printf.sprintf "micro %S: ns_per_op %g is not positive" r.r_name
+              r.r_ns_per_op)
+    else if
+      (not (Float.is_finite r.r_ops_per_sec)) || r.r_ops_per_sec <= 0.
+    then
+      Some (Printf.sprintf "micro %S: ops_per_sec %g is not positive"
+              r.r_name r.r_ops_per_sec)
+    else None
+  in
+  let rec walk i = function
+    | [] -> Ok ()
+    | e :: rest -> (
+        if e.e_results = [] then
+          Error (Printf.sprintf "history[%d]: entry has no micros" i)
+        else
+          match List.filter_map bad_result e.e_results with
+          | problem :: _ -> Error (Printf.sprintf "history[%d]: %s" i problem)
+          | [] -> walk (i + 1) rest)
+  in
+  walk 0 doc.b_history
 
 (* -------------------------------------------------------------- gate *)
 

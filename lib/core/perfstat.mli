@@ -66,6 +66,13 @@ val micros_json : result list -> Json.t
 val load : string -> (doc, string) Stdlib.result
 val save : string -> doc -> unit
 
+val validate_history : doc -> (unit, string) Stdlib.result
+(** Semantic shape check over every committed history entry: each must
+    carry at least one micro, every micro a non-empty name and finite,
+    positive [ns_per_op]/[ops_per_sec].  The error names the offending
+    entry's index (["history[3]: ..."]) so a corrupt trajectory is
+    rejected before [--append] extends it. *)
+
 (** {1 The gate} *)
 
 (** One micro's verdict against the last committed entry. *)

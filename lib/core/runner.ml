@@ -113,6 +113,21 @@ module Fault = struct
         Unix.putenv fault_env (String.concat "," keep)
 end
 
+(* ------------------------------------------------- payload collection *)
+
+(* Per-experiment observability payloads (span JSON today) are produced
+   in whatever process hosts the experiment — a forked worker or the
+   parent — by this hook, called right after each attempt with the
+   experiment's id.  The payload is marshalled over the same pipe as the
+   result, which is what lets span-armed runs keep [--jobs N]: the data
+   is drained where it was recorded instead of being stranded in a
+   child.  The hook must be installed before [fork] (children inherit
+   it) and should also drain any per-experiment instrument registries so
+   payloads cannot leak across experiments. *)
+let collect_hook : (string -> Json.t option) ref = ref (fun _ -> None)
+
+let collect id = try !collect_hook id with _ -> None
+
 (* ------------------------------------------------------------ attempts *)
 
 let attempt ~seed id f =
@@ -214,7 +229,8 @@ let spawn ~seed ~timeout slice =
       List.iter
         (fun (i, (id, f)) ->
           let r = attempt ~seed id f in
-          Marshal.to_channel oc (i, id, r) [];
+          let p = collect id in
+          Marshal.to_channel oc (i, id, r, p) [];
           flush oc)
         slice;
       close_out oc;
@@ -251,7 +267,9 @@ let drain_frames w ~on_frame =
       | exception Failure msg -> w.w_err <- Some msg
       | total when len - !pos < total -> stop := true
       | total -> (
-          match (Marshal.from_bytes b !pos : int * string * outcome) with
+          match
+            (Marshal.from_bytes b !pos : int * string * outcome * Json.t option)
+          with
           | exception Failure msg -> w.w_err <- Some msg
           | frame ->
               on_frame frame;
@@ -278,7 +296,9 @@ let forked_round ~jobs ~timeout ~seed indexed =
         spawn ~seed ~timeout
           (List.filteri (fun k _ -> k mod jobs = w) indexed))
   in
-  let delivered : (int, string * outcome) Hashtbl.t = Hashtbl.create 37 in
+  let delivered : (int, string * outcome * Json.t option) Hashtbl.t =
+    Hashtbl.create 37
+  in
   let active = ref (List.filter (fun w -> w.w_slice <> []) workers) in
   (* workers dealt an empty slice just exit; reap them at the end *)
   let finished = ref [] in
@@ -303,8 +323,8 @@ let forked_round ~jobs ~timeout ~seed indexed =
           | 0 -> w.w_eof <- true
           | n ->
               Buffer.add_subbytes w.w_buf chunk 0 n;
-              drain_frames w ~on_frame:(fun (i, id, r) ->
-                  Hashtbl.replace delivered i (id, r);
+              drain_frames w ~on_frame:(fun (i, id, r, p) ->
+                  Hashtbl.replace delivered i (id, r, p);
                   if timeout > 0.0 then
                     w.w_deadline <- Unix.gettimeofday () +. timeout);
               if w.w_err <> None then begin
@@ -390,29 +410,36 @@ let run_serial ~timeout ~retries ~seed selected =
     (fun (id, f) ->
       let rec go n =
         let o = attempt_timed ~timeout ~seed id f in
+        (* collect after every attempt so a retry's payload reflects
+           only the final run, not leftovers from the aborted one *)
+        let p = collect id in
         match o with
         | Done _ | Failed _ | Crashed _ | Retried _ ->
-            if n = 0 then o else Retried (n, o)
+            ((if n = 0 then o else Retried (n, o)), p)
         | Timed_out _ ->
-            if n >= retries then if n = 0 then o else Retried (n, o)
+            if n >= retries then ((if n = 0 then o else Retried (n, o)), p)
             else begin
               Fault.disarm id;
               go (n + 1)
             end
       in
-      (id, go 0))
+      let o, p = go 0 in
+      (id, o, p))
     selected
 
-let run ?(jobs = 1) ?(seed = 42) ?(timeout = 0.0) ?(retries = default_retries)
-    selected =
+let run_collect ?(jobs = 1) ?(seed = 42) ?(timeout = 0.0)
+    ?(retries = default_retries) selected =
   let retries = max 0 retries in
   let jobs = max min_jobs (min (clamp_jobs jobs) (List.length selected)) in
   if jobs <= 1 then run_serial ~timeout ~retries ~seed selected
   else begin
     let indexed = List.mapi (fun i x -> (i, x)) selected in
-    let results : (int, string * outcome) Hashtbl.t = Hashtbl.create 37 in
-    let record ~round (i, (id, o)) =
-      Hashtbl.replace results i (id, if round = 0 then o else Retried (round, o))
+    let results : (int, string * outcome * Json.t option) Hashtbl.t =
+      Hashtbl.create 37
+    in
+    let record ~round (i, (id, o, p)) =
+      Hashtbl.replace results i
+        (id, (if round = 0 then o else Retried (round, o)), p)
     in
     let delivered, lost = forked_round ~jobs ~timeout ~seed indexed in
     List.iter (record ~round:0) delivered;
@@ -427,7 +454,9 @@ let run ?(jobs = 1) ?(seed = 42) ?(timeout = 0.0) ?(retries = default_retries)
           List.iter
             (fun (i, (id, _), cause) ->
               Hashtbl.replace results i
-                (id, if retries = 0 then cause else Retried (retries, cause)))
+                ( id,
+                  (if retries = 0 then cause else Retried (retries, cause)),
+                  None ))
             lost
       | lost ->
           List.iter (fun (_, (id, _), _) -> Fault.disarm id) lost;
@@ -445,7 +474,8 @@ let run ?(jobs = 1) ?(seed = 42) ?(timeout = 0.0) ?(retries = default_retries)
             List.iter
               (fun (i, (id, f)) ->
                 let o = attempt_timed ~timeout ~seed id f in
-                record ~round:attempt (i, (id, o)))
+                let p = collect id in
+                record ~round:attempt (i, (id, o, p)))
               pairs
     in
     retry 1 lost;
@@ -453,6 +483,11 @@ let run ?(jobs = 1) ?(seed = 42) ?(timeout = 0.0) ?(retries = default_retries)
       (fun (i, (id, _)) ->
         match Hashtbl.find_opt results i with
         | Some r -> r
-        | None -> (id, Failed "worker exited before delivering a result"))
+        | None -> (id, Failed "worker exited before delivering a result", None))
       indexed
   end
+
+let run ?jobs ?seed ?timeout ?retries selected =
+  List.map
+    (fun (id, o, _payload) -> (id, o))
+    (run_collect ?jobs ?seed ?timeout ?retries selected)

@@ -51,6 +51,31 @@ val describe : outcome -> string
 (** One-line human rendering ("ok", "worker killed by SIGKILL",
     "timed out after 5s (after 2 retries)", ...) for failure tables. *)
 
+val collect_hook : (string -> Json.t option) ref
+(** Per-experiment payload collector, called with the experiment id in
+    whatever process hosted the attempt, immediately after it finished.
+    The payload rides the existing result pipe back to the supervisor,
+    which is what lets observation layers whose data lives in
+    process-local registries (span recorders armed via
+    {!Ppc.Span.set_boot_defaults}) keep [--jobs N]: each worker drains
+    its own registries and ships the digest, instead of the data dying
+    with the child.  The default hook returns [None]; hook exceptions
+    are swallowed (a broken collector must not fail the experiment).
+    The hook runs after {e every} attempt, so on a retried experiment
+    only the final attempt's payload survives. *)
+
+val run_collect :
+  ?jobs:int ->
+  ?seed:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  (string * (?seed:int -> unit -> Experiments.table)) list ->
+  (string * outcome * Json.t option) list
+(** Like {!run}, additionally returning what {!collect_hook} produced
+    for each experiment in the hosting process.  Experiments that never
+    ran to completion anywhere (crashed/hung through the whole retry
+    ladder) carry [None]. *)
+
 val run :
   ?jobs:int ->
   ?seed:int ->
@@ -59,7 +84,9 @@ val run :
   (string * (?seed:int -> unit -> Experiments.table)) list ->
   (string * outcome) list
 (** [run ~jobs ~seed ~timeout ~retries selected] executes every
-    [(id, fn)] pair and returns [(id, outcome)] in the input's order.
+    [(id, fn)] pair and returns [(id, outcome)] in the input's order
+    (payloads from {!collect_hook}, if any, are dropped — use
+    {!run_collect} to keep them).
     [jobs] is clamped to [1 .. length selected].  An experiment that
     raises becomes [Failed] (in-process or in a worker) rather than
     aborting the batch.

@@ -1,0 +1,140 @@
+(* Declarative latency SLOs over the spans document.
+
+   A budgets file names (experiment, config, class, metric) coordinates
+   and gives each a cycle budget; evaluation reads the measured value
+   out of the spans document Span_export produced for the same run.
+   Budgets are cycles, not microseconds: the simulation is exact, so
+   the gate can be too. *)
+
+type metric = P50 | P99 | P999
+
+let metric_name = function P50 -> "p50" | P99 -> "p99" | P999 -> "p999"
+
+let metric_of_string = function
+  | "p50" -> Some P50
+  | "p99" -> Some P99
+  | "p999" -> Some P999
+  | _ -> None
+
+type objective = {
+  s_experiment : string;
+  s_config : string;
+  s_class : string;  (* "overall" or a class name *)
+  s_metric : metric;
+  s_budget : int;  (* cycles *)
+}
+
+type doc = { d_seed : int; d_objectives : objective list }
+
+let objective_of_json j =
+  let str k = Option.bind (Json.member k j) Json.to_string_opt in
+  let int k = Option.bind (Json.member k j) Json.to_int_opt in
+  match (str "experiment", str "config", int "budget_cycles") with
+  | Some s_experiment, Some s_config, Some s_budget -> (
+      let s_class = Option.value (str "class") ~default:"overall" in
+      match
+        metric_of_string
+          (Option.value (str "metric") ~default:"p99")
+      with
+      | Some s_metric ->
+          Ok { s_experiment; s_config; s_class; s_metric; s_budget }
+      | None ->
+          Error
+            (Printf.sprintf "unknown metric %S"
+               (Option.value (str "metric") ~default:"")))
+  | _ -> Error "objective needs \"experiment\", \"config\", \"budget_cycles\""
+
+let of_json j =
+  match Option.bind (Json.member "slos" j) Json.to_list_opt with
+  | None -> Error "budgets document needs a \"slos\" list"
+  | Some l ->
+      let rec walk i acc = function
+        | [] -> Ok { d_seed = 42; d_objectives = List.rev acc }
+        | o :: rest -> (
+            match objective_of_json o with
+            | Ok obj -> walk (i + 1) (obj :: acc) rest
+            | Error msg ->
+                Error (Printf.sprintf "slos[%d]: %s" i msg))
+      in
+      let seed =
+        Option.value
+          (Option.bind (Json.member "seed" j) Json.to_int_opt)
+          ~default:42
+      in
+      Result.map
+        (fun d -> { d with d_seed = seed })
+        (walk 0 [] l)
+
+let load path =
+  match Json.of_string (In_channel.with_open_text path In_channel.input_all) with
+  | Error msg -> Error (path ^ ": " ^ msg)
+  | Ok j -> ( match of_json j with Ok d -> Ok d | Error m -> Error (path ^ ": " ^ m))
+
+let to_json d =
+  Json.Obj
+    [ ("seed", Json.Int d.d_seed);
+      ("slos",
+       Json.List
+         (List.map
+            (fun o ->
+              Json.Obj
+                [ ("experiment", Json.String o.s_experiment);
+                  ("config", Json.String o.s_config);
+                  ("class", Json.String o.s_class);
+                  ("metric", Json.String (metric_name o.s_metric));
+                  ("budget_cycles", Json.Int o.s_budget) ])
+            d.d_objectives)) ]
+
+(* ----------------------------------------------------------- verdicts *)
+
+type verdict = {
+  v_objective : objective;
+  v_measured : int option;  (* None: coordinates absent from the run *)
+  v_ok : bool;
+}
+
+(* Dig the measured value out of a spans document (the Json.List of
+   per-config objects Span_export.to_json emits). *)
+let measure_in_spans spans o =
+  let ( let* ) = Option.bind in
+  let* recorders = Json.to_list_opt spans in
+  let* recorder =
+    List.find_opt
+      (fun r ->
+        Option.bind (Json.member "config" r) Json.to_string_opt
+        = Some o.s_config)
+      recorders
+  in
+  let* hist =
+    if o.s_class = "overall" then Json.member "overall" recorder
+    else
+      let* classes =
+        Option.bind (Json.member "classes" recorder) Json.to_list_opt
+      in
+      List.find_opt
+        (fun c ->
+          Option.bind (Json.member "class" c) Json.to_string_opt
+          = Some o.s_class)
+        classes
+  in
+  Option.bind (Json.member (metric_name o.s_metric) hist) Json.to_int_opt
+
+let evaluate ~spans d =
+  List.map
+    (fun o ->
+      let measured =
+        Option.bind (List.assoc_opt o.s_experiment spans) (fun s ->
+            measure_in_spans s o)
+      in
+      { v_objective = o;
+        v_measured = measured;
+        (* a missing measurement fails: an SLO you cannot evaluate is
+           not met *)
+        v_ok = (match measured with Some m -> m <= o.s_budget | None -> false)
+      })
+    d.d_objectives
+
+let all_ok = List.for_all (fun v -> v.v_ok)
+
+let experiments d =
+  List.sort_uniq compare (List.map (fun o -> o.s_experiment) d.d_objectives)

@@ -1,0 +1,53 @@
+(** Declarative tail-latency SLOs over the spans document.
+
+    A budgets file gives cycle budgets to (experiment, config, class,
+    metric) coordinates:
+
+    {v
+    { "seed": 42,
+      "slos": [ { "experiment": "E17", "config": "optimized",
+                  "class": "overall", "metric": "p99",
+                  "budget_cycles": 400000 } ] }
+    v}
+
+    [mmu_sim check --slo FILE] reruns the named experiments with span
+    recording armed and evaluates each objective against the measured
+    percentile from {!Span_export.to_json}'s document.  Budgets are in
+    cycles — the simulation is deterministic per seed, so the gate is
+    exact, not statistical.  ["class"] defaults to ["overall"],
+    ["metric"] to ["p99"]. *)
+
+type metric = P50 | P99 | P999
+
+val metric_name : metric -> string
+val metric_of_string : string -> metric option
+
+type objective = {
+  s_experiment : string;
+  s_config : string;   (** recorder label, e.g. ["optimized"] *)
+  s_class : string;    (** ["overall"] or a class name *)
+  s_metric : metric;
+  s_budget : int;      (** cycles *)
+}
+
+type doc = { d_seed : int; d_objectives : objective list }
+
+val load : string -> (doc, string) result
+val of_json : Json.t -> (doc, string) result
+val to_json : doc -> Json.t
+
+type verdict = {
+  v_objective : objective;
+  v_measured : int option;
+      (** [None]: the run produced no value at those coordinates *)
+  v_ok : bool;  (** measured within budget; a missing measurement fails *)
+}
+
+val evaluate : spans:(string * Json.t) list -> doc -> verdict list
+(** [spans] maps experiment id to its spans document (the list
+    {!Span_export.to_json} returns). *)
+
+val all_ok : verdict list -> bool
+
+val experiments : doc -> string list
+(** The distinct experiment ids the objectives name, sorted. *)

@@ -209,9 +209,9 @@ let observability_json traces =
   let counts = Array.make (List.length Trace.all_kinds) 0 in
   List.iter
     (fun tr ->
-      Hist.merge ~into:probe (Trace.hist_probe tr);
-      Hist.merge ~into:tlb (Trace.hist_tlb_service tr);
-      Hist.merge ~into:ctxsw (Trace.hist_ctxsw tr);
+      Hist.merge_into ~into:probe (Trace.hist_probe tr);
+      Hist.merge_into ~into:tlb (Trace.hist_tlb_service tr);
+      Hist.merge_into ~into:ctxsw (Trace.hist_ctxsw tr);
       List.iteri
         (fun i k -> counts.(i) <- counts.(i) + Trace.kind_count tr k)
         Trace.all_kinds)

@@ -46,6 +46,7 @@ let vfs t = t.k_vfs
 let rng t = t.k_rng
 let trace t = Memsys.trace t.k_memsys
 let profile t = Memsys.profile t.k_memsys
+let span t = Memsys.span t.k_memsys
 let cycles t = t.k_perf.Perf.cycles
 let us t = Cost.us_of_cycles ~mhz:t.k_machine.Machine.mhz (cycles t)
 let tasks t = t.k_tasks
@@ -231,6 +232,9 @@ let tick_hook : (t -> unit) ref = ref (fun _ -> ())
 let syscall_entry t =
   !tick_hook t;
   t.k_perf.Perf.syscalls <- t.k_perf.Perf.syscalls + 1;
+  (* span attribution: stamp the kernel-entry cycle before the entry
+     path charges, so the request's syscall window covers all of it *)
+  Span.syscall_begin (span t);
   let fast = t.k_policy.Policy.fast_paths in
   let instrs =
     if fast then Kparams.syscall_fast else Kparams.syscall_slow
@@ -240,6 +244,10 @@ let syscall_entry t =
   in
   run_path t ~off:Kparams.off_syscall ~instrs
     ~data:(current_task_refs t @ extra)
+
+(* The matching syscall return, called at the end of every [sys_*] body:
+   closes the current request's syscall window. *)
+let syscall_ret t = Span.syscall_end (span t)
 
 (* --- flushing --------------------------------------------------------- *)
 
@@ -317,6 +325,20 @@ let spawn t ?(text_pages = 16) ?(data_pages = 16) ?(stack_pages = 8) () =
   t.k_tasks <- task :: t.k_tasks;
   task
 
+(* A thread-like task: its own pid, task_struct and kernel stack, but
+   the same address space (mm, page table, VSIDs) as [peer] — the
+   clone(CLONE_VM) shape a shared-mm server pool uses.  Threads must not
+   [sys_exit] (that would tear down the shared address space); a server
+   parks them instead. *)
+let spawn_thread t ~peer =
+  let pid = t.next_pid in
+  t.next_pid <- t.next_pid + 1;
+  Memsys.instructions t.k_memsys Kparams.fork_base;
+  let task = Task.create ~pid ~mm:peer.Task.mm in
+  task.Task.code_cursor <- peer.Task.code_cursor;
+  t.k_tasks <- task :: t.k_tasks;
+  task
+
 (* The frame-buffer aperture lives outside RAM in physical space. *)
 let framebuffer_phys_base = 0x0800_0000
 let framebuffer_rpn = framebuffer_phys_base lsr Addr.page_shift
@@ -369,7 +391,11 @@ let switch_to t task =
   Trace.set_current_pid tr task.Task.pid;
   if Trace.enabled tr then
     Trace.emit_context_switch tr ~pid:task.Task.pid
-      ~cost:(t.k_perf.Perf.cycles - switch_start)
+      ~cost:(t.k_perf.Perf.cycles - switch_start);
+  (* span attribution: the incoming pid names the request now being
+     served; the switch cost is part of its critical path *)
+  Span.note_context_switch (span t) ~pid:task.Task.pid
+    ~cost:(t.k_perf.Perf.cycles - switch_start)
 
 let require_current t =
   match t.k_current with
@@ -400,6 +426,7 @@ let sys_map_framebuffer t ~pages =
   if t.k_policy.Policy.bat_framebuffer then
     Bat.set (Mmu.dbat t.k_mmu) ~index:framebuffer_bat_index ~base_ea:ea
       ~length:(4 * 1024 * 1024) ~phys_base:framebuffer_phys_base;
+  syscall_ret t;
   ea
 
 let timer_tick t =
@@ -574,6 +601,7 @@ let touch t kind ea =
 
 let user_run t ~instrs =
   let task = require_current t in
+  let run_start = t.k_perf.Perf.cycles in
   Memsys.instructions t.k_memsys instrs;
   let mm = task.Task.mm in
   let text =
@@ -581,7 +609,7 @@ let user_run t ~instrs =
     | Some vma -> Some vma
     | None -> Mm.find_vma mm task.Task.code_cursor
   in
-  match text with
+  (match text with
   | None -> ()
   | Some vma ->
       let text_end = vma.Mm.va_start + (vma.Mm.va_pages lsl Addr.page_shift) in
@@ -593,11 +621,16 @@ let user_run t ~instrs =
         then task.Task.code_cursor <- vma.Mm.va_start;
         touch t Mmu.Fetch task.Task.code_cursor;
         task.Task.code_cursor <- task.Task.code_cursor + Addr.line_size
-      done
+      done);
+  (* span attribution: the whole slice (fetches, faults and reloads
+     included) ran on the current request's behalf *)
+  Span.note_run (span t) ~cost:(t.k_perf.Perf.cycles - run_start)
 
 (* --- syscalls --------------------------------------------------------- *)
 
-let sys_null t = syscall_entry t
+let sys_null t =
+  syscall_entry t;
+  syscall_ret t
 
 let sys_mmap t ~pages ~writable =
   syscall_entry t;
@@ -613,6 +646,7 @@ let sys_mmap t ~pages ~writable =
   (* New mappings for this range must be the only ones visible: flush the
      range from TLB and htab (the expensive part §7 attacks). *)
   flush_range t ~mm ~ea ~pages;
+  syscall_ret t;
   ea
 
 let sys_munmap t ~ea ~pages =
@@ -639,7 +673,8 @@ let sys_munmap t ~ea ~pages =
         charge_pt_update t pt ~ea:pea;
         release_frame t entry
   done;
-  flush_range t ~mm ~ea ~pages
+  flush_range t ~mm ~ea ~pages;
+  syscall_ret t
 
 let sys_mmap_file t file ~from_page ~pages ~writable =
   syscall_entry t;
@@ -653,6 +688,7 @@ let sys_mmap_file t file ~from_page ~pages ~writable =
     { Mm.va_start = ea; va_pages = pages; va_writable = writable;
       va_backing = Mm.File_pages (file, from_page) };
   flush_range t ~mm ~ea ~pages;
+  syscall_ret t;
   ea
 
 (* The data vma is the one starting right after the text vma. *)
@@ -673,6 +709,7 @@ let sys_brk t ~pages =
     grown.Mm.va_start + ((grown.Mm.va_pages - pages) lsl Addr.page_shift)
   in
   flush_range t ~mm ~ea:old_end ~pages;
+  syscall_ret t;
   grown.Mm.va_start + (grown.Mm.va_pages lsl Addr.page_shift)
 
 let sys_fork t =
@@ -716,6 +753,7 @@ let sys_fork t =
   let child = Task.create ~pid ~mm:cmm in
   child.Task.code_cursor <- parent.Task.code_cursor;
   t.k_tasks <- child :: t.k_tasks;
+  syscall_ret t;
   child
 
 let release_address_space t mm =
@@ -743,7 +781,8 @@ let sys_exec t ~text_pages ~data_pages ~stack_pages =
   Mm.reset_vmas mm;
   List.iter (Mm.add_vma mm)
     (standard_vmas ~text_pages ~data_pages ~stack_pages);
-  task.Task.code_cursor <- Mm.user_text_base
+  task.Task.code_cursor <- Mm.user_text_base;
+  syscall_ret t
 
 let sys_exit t =
   syscall_entry t;
@@ -758,7 +797,8 @@ let sys_exit t =
     ~free_frame:(fun _ -> () (* frames already released above *));
   task.Task.state <- Task.Exited;
   t.k_tasks <- List.filter (fun other -> other != task) t.k_tasks;
-  t.k_current <- None
+  t.k_current <- None;
+  syscall_ret t
 
 (* --- pipes ------------------------------------------------------------ *)
 
@@ -792,6 +832,7 @@ let sys_pipe_write t pipe ~buf ~bytes =
     copy_user_kernel t ~user:buf
       ~kernel:(Kparams.pipe_buf_ea ~index:(Pipe.index pipe))
       ~bytes:n ~to_kernel:true;
+  syscall_ret t;
   n
 
 let sys_pipe_read t pipe ~buf ~bytes =
@@ -803,6 +844,7 @@ let sys_pipe_read t pipe ~buf ~bytes =
     copy_user_kernel t ~user:buf
       ~kernel:(Kparams.pipe_buf_ea ~index:(Pipe.index pipe))
       ~bytes:n ~to_kernel:false;
+  syscall_ret t;
   n
 
 (* --- file reads ------------------------------------------------------- *)
@@ -828,7 +870,8 @@ let file_read_body t file ~from_page ~pages ~buf ~on_cold =
           kaccess t Mmu.Load (kea + off);
           touch t Mmu.Store (buf + (p * Addr.page_size) + off)
         done
-  done
+  done;
+  syscall_ret t
 
 let sys_file_read t file ~from_page ~pages ~buf =
   file_read_body t file ~from_page ~pages ~buf ~on_cold:(fun () ->
@@ -860,7 +903,8 @@ let sys_file_write t file ~from_page ~pages ~buf =
           touch t Mmu.Load (buf + (p * Addr.page_size) + off);
           kaccess t Mmu.Store (kea + off)
         done
-  done
+  done;
+  syscall_ret t
 
 (* --- measurement helpers ---------------------------------------------- *)
 

@@ -55,6 +55,16 @@ val profile : t -> Profile.t
     process-wide profiling starts enabled and registered for the driver
     to drain. *)
 
+val span : t -> Span.t
+(** The request-span recorder attached to this kernel's memory system —
+    shorthand for [Memsys.span (memsys t)].  The kernel reports syscall
+    entry/exit windows, context switches and run slices into it; the
+    workload drives the request lifecycle ({!Ppc.Span.request_begin},
+    {!Ppc.Span.bind_pid}, {!Ppc.Span.request_end}).  Like Trace and
+    Profile, a recorder created while {!Ppc.Span.set_boot_defaults} has
+    armed process-wide spans starts enabled and registered for the
+    driver to drain. *)
+
 val memsys : t -> Memsys.t
 val mmu : t -> Mmu.t
 
@@ -88,6 +98,13 @@ val spawn :
 (** Create a runnable process with the standard text/data/stack vmas.
     This is a workload {e setup} helper: it charges nothing (measured
     process creation goes through {!sys_fork}/{!sys_exec}). *)
+
+val spawn_thread : t -> peer:Task.t -> Task.t
+(** Create a thread-like task sharing [peer]'s address space (mm, page
+    table, VSIDs) — the clone(CLONE_VM) shape a shared-mm server pool
+    uses.  Charges a fork-entry path length but copies no pages.
+    Threads must not {!sys_exit} (that would tear down the shared
+    address space); park them instead. *)
 
 val switch_to : t -> Task.t -> unit
 (** Context switch: scheduler path, task-struct and stack traffic, user

@@ -95,11 +95,30 @@ let percentile_interpolated t p =
     walk 0 0
   end
 
-let merge ~into t =
+let merge_into ~into t =
+  if Array.length into.counts <> Array.length t.counts then
+    invalid_arg "Hist.merge_into: bucket geometry mismatch";
   into.count <- into.count + t.count;
   into.sum <- into.sum + t.sum;
   if t.max_value > into.max_value then into.max_value <- t.max_value;
   Array.iteri (fun i n -> into.counts.(i) <- into.counts.(i) + n) t.counts
+
+(* Functional bucket-wise sum: the combination step for histograms that
+   crossed a process boundary (span/trace payloads from forked Runner
+   workers).  Requires identical bucket geometry — all histograms this
+   module creates share it, but documents parsed from elsewhere might
+   not. *)
+let merge a b =
+  if Array.length a.counts <> Array.length b.counts then
+    invalid_arg "Hist.merge: bucket geometry mismatch";
+  let t =
+    { count = a.count + b.count;
+      sum = a.sum + b.sum;
+      max_value = max a.max_value b.max_value;
+      counts = Array.make (Array.length a.counts) 0 }
+  in
+  Array.iteri (fun i n -> t.counts.(i) <- n + b.counts.(i)) a.counts;
+  t
 
 let reset t =
   t.count <- 0;

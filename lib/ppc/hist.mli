@@ -55,7 +55,15 @@ val percentile_interpolated : t -> float -> float
     distributions are not rounded up to a power of two.  0 when
     empty. *)
 
-val merge : into:t -> t -> unit
-(** Add [t]'s buckets and totals into [into]. *)
+val merge : t -> t -> t
+(** [merge a b] is a fresh histogram holding both inputs' observations:
+    bucket-wise sum, summed counts/totals, max of maxima.  Associative
+    and commutative, so histograms recorded in forked Runner workers
+    combine in any order with a deterministic result.
+    @raise Invalid_argument if the bucket geometries differ. *)
+
+val merge_into : into:t -> t -> unit
+(** Add [t]'s buckets and totals into [into], in place.
+    @raise Invalid_argument if the bucket geometries differ. *)
 
 val reset : t -> unit

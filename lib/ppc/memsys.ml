@@ -3,6 +3,7 @@ type t = {
   perf : Perf.t;
   trace : Trace.t;
   profile : Profile.t;
+  span : Span.t;
   icache : Cache.t;
   dcache : Cache.t;
   mutable idle : bool;
@@ -13,6 +14,7 @@ let create ~machine ~perf =
     perf;
     trace = Trace.create ~perf;
     profile = Profile.create ~perf;
+    span = Span.create ~perf;
     icache =
       Cache.create ~bytes:machine.Machine.icache.Machine.cache_bytes
         ~ways:machine.Machine.icache.Machine.cache_ways;
@@ -25,6 +27,7 @@ let machine t = t.machine
 let perf t = t.perf
 let trace t = t.trace
 let profile t = t.profile
+let span t = t.span
 let icache t = t.icache
 let dcache t = t.dcache
 

@@ -28,6 +28,11 @@ val profile : t -> Profile.t
     [Profile.enable]).  Cycle charges check its htab-occupancy sampling
     deadline on the same cadence discipline as the trace timeline. *)
 
+val span : t -> Span.t
+(** The machine's request-span recorder (disabled until [Span.enable]).
+    Event-driven, not cadence-driven: the charge path never checks it,
+    so the disabled cost is the flag check at each instrumented site. *)
+
 val icache : t -> Cache.t
 val dcache : t -> Cache.t
 

@@ -86,6 +86,7 @@ let shadow t = t.shadow
 let perf t = Memsys.perf t.memsys
 let trace t = Memsys.trace t.memsys
 let profile t = Memsys.profile t.memsys
+let span t = Memsys.span t.memsys
 
 let kernel_tlb_entries t ~is_kernel_vsid =
   let p vpn = is_kernel_vsid (Addr.vsid_of_vpn vpn) in
@@ -414,9 +415,13 @@ let access_miss t kind ea ~vsid ~vpn ~tlb ~source ~store =
   let traced = Trace.enabled tr in
   let pr = profile t in
   let profiling = Profile.enabled pr in
-  let miss_start = if traced || profiling then (perf t).Perf.cycles else 0 in
+  let sp = span t in
+  let spanning = Span.enabled sp in
+  let miss_start =
+    if traced || profiling || spanning then (perf t).Perf.cycles else 0
+  in
   let htab_misses_before =
-    if profiling then (perf t).Perf.htab_misses else 0
+    if profiling || spanning then (perf t).Perf.htab_misses else 0
   in
   if traced then
     Trace.emit tr
@@ -443,6 +448,12 @@ let access_miss t kind ea ~vsid ~vpn ~tlb ~source ~store =
     if (perf t).Perf.htab_misses > htab_misses_before then
       Profile.charge_miss pr ~pid ~seg ~page ~kind:Profile.Htab_miss ~cost
   end;
+  (* Span attribution: the same service cost lands on the request the
+     CPU is serving, with the htab-missing subset tagged. *)
+  if spanning then
+    Span.charge_reload sp
+      ~cost:((perf t).Perf.cycles - miss_start)
+      ~htab_missed:((perf t).Perf.htab_misses > htab_misses_before);
   match reloaded with
   | None ->
       shadow_check t kind ea ~pa:(-1) ~inhibited:false

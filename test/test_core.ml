@@ -131,14 +131,14 @@ module Experiments = Mmu_tricks.Experiments
 
 let test_experiments_registry () =
   let names = List.map fst Experiments.all in
-  Alcotest.(check int) "twenty-two experiments" 22 (List.length names);
+  Alcotest.(check int) "twenty-five experiments" 25 (List.length names);
   List.iter
     (fun expected ->
       Alcotest.(check bool) ("has " ^ expected) true
         (List.mem expected names))
     [ "T1"; "T2"; "T3"; "E1"; "E2"; "E3"; "E6"; "E7"; "E8"; "E10"; "E11";
-      "E12"; "E13"; "E14"; "E15"; "E16"; "EX1"; "EX2"; "EX4"; "EX5"; "EX6";
-      "EX7" ]
+      "E12"; "E13"; "E14"; "E15"; "E16"; "E17"; "E18"; "E19"; "EX1"; "EX2";
+      "EX4"; "EX5"; "EX6"; "EX7" ]
 
 let test_csv_export () =
   let t =

@@ -17,6 +17,7 @@ let () =
       ("mmu", Test_mmu.suite);
       ("shadow", Test_shadow.suite);
       ("profile", Test_profile.suite);
+      ("span", Test_span.suite);
       ("physmem", Test_physmem.suite);
       ("pagetable", Test_pagetable.suite);
       ("vsid", Test_vsid.suite);

@@ -46,7 +46,7 @@ let test_hist_percentile_merge () =
     "p99 reaches the top bucket's true max" 100 (Hist.percentile h 0.99);
   let other = Hist.create () in
   Hist.observe other 1000;
-  Hist.merge ~into:h other;
+  Hist.merge_into ~into:h other;
   Alcotest.(check int) "merged count" 101 (Hist.count h);
   Alcotest.(check int) "merged max" 1000 (Hist.max_value h);
   Hist.reset h;
