@@ -1023,6 +1023,82 @@ let d1 ?(seed = 42) () =
         "a fork is a COW break that a skipped TLB invalidate turns into";
         "a stale translation the shadow reference MMU must catch." ] }
 
+(* D2 concentrates the cross-CPU sequence a skipped TLB shootdown
+   corrupts: two CPUs sharing one address space (clone-style threads),
+   both TLBs warmed over the same user pages; then the thread on CPU 0
+   execs — under the precise-flush policy every mapped page is flushed
+   locally and shot down on CPU 1 — and the sibling on CPU 1 touches
+   the same addresses again.  Delivered shootdowns make those touches
+   cold misses that demand-fault fresh frames; a skipped shootdown
+   (MMU_SIM_BUG=skip-shootdown) leaves CPU 1's TLB answering with the
+   old frame while the reference translator sees no mapping at all —
+   a guaranteed divergence on the first post-exec touch.  Correct by
+   construction otherwise: a shadow-checked run reports zero
+   divergences.  Diagnostic only: not in the default registry, so
+   results documents and baselines are unchanged. *)
+let d2 ?(seed = 42) () =
+  let k =
+    Kernel.boot ~machine:Machine.ppc604_185
+      ~policy:Config.optimized_precise_flush ~seed ~cpus:2 ()
+  in
+  let text_pages = 8 and data_pages = 8 and stack_pages = 4 in
+  let data_base = Mm.user_text_base + (text_pages lsl Addr.page_shift) in
+  let touch_all () =
+    for i = 0 to data_pages - 1 do
+      Kernel.touch k Mmu.Store (data_base + (i lsl Addr.page_shift))
+    done
+  in
+  (* thread A on CPU 0 ... *)
+  let a = Kernel.spawn k ~text_pages ~data_pages ~stack_pages () in
+  Kernel.set_active_cpu k 0;
+  Kernel.switch_to k a;
+  Kernel.user_run k ~instrs:2000;
+  touch_all ();
+  (* ... and sibling B (same mm, own task) on CPU 1, its TLB warmed
+     over the very same pages *)
+  let b = Kernel.spawn_thread k ~peer:a in
+  Kernel.set_active_cpu k 1;
+  Kernel.switch_to k b;
+  Kernel.user_run k ~instrs:2000;
+  touch_all ();
+  let generations = 4 in
+  for _ = 1 to generations do
+    (* A replaces the shared image on CPU 0: whole-mm precise flush,
+       one shootdown round per mapped page to CPU 1 *)
+    Kernel.set_active_cpu k 0;
+    Kernel.sys_exec k ~text_pages ~data_pages ~stack_pages;
+    Kernel.user_run k ~instrs:500;
+    touch_all ();
+    (* B touches the same addresses on CPU 1 through its own TLB *)
+    Kernel.set_active_cpu k 1;
+    Kernel.user_run k ~instrs:500;
+    touch_all ()
+  done;
+  let p = Kernel.perf k in
+  let mmu = Kernel.mmu k in
+  let cpu_misses cpu =
+    Mmu.cpu_itlb_misses mmu ~cpu + Mmu.cpu_dtlb_misses mmu ~cpu
+  in
+  { title =
+      "D2 (diagnostic) - cross-CPU exec/shootdown stress for the shadow \
+       checker";
+    header = [ "metric"; "value" ];
+    rows =
+      [ [ "TLB shootdown rounds"; Report.fmt_int p.Perf.tlb_shootdowns ];
+        [ "IPIs sent"; Report.fmt_int p.Perf.ipis_sent ];
+        [ "remote TLB invalidates";
+          Report.fmt_int p.Perf.remote_tlb_invalidates ];
+        [ "page faults"; Report.fmt_int p.Perf.page_faults ];
+        [ "TLB misses (cpu0 + cpu1)";
+          Printf.sprintf "%s + %s"
+            (Report.fmt_int (cpu_misses 0))
+            (Report.fmt_int (cpu_misses 1)) ] ];
+    notes =
+      [ "diagnostic workload (run by name only); every post-exec touch on";
+        "the sibling CPU relies on the exec's shootdown round having";
+        "invalidated that CPU's TLB - skip it and the shadow reference";
+        "MMU must catch the stale remote translation." ] }
+
 (* ----------------------------------------------------------- registry *)
 
 type spec = {
@@ -1111,7 +1187,11 @@ let registry =
 let diagnostics =
   [ spec "D1" "fork/COW/exec flush stress (shadow diagnostic)" "diagnostic"
       "translation sequences a missed TLB invalidate corrupts; the \
-       shadow-checker smoke workload" d1 ]
+       shadow-checker smoke workload" d1;
+    spec "D2" "cross-CPU exec/shootdown stress (shadow diagnostic)"
+      "diagnostic"
+      "the two-CPU shared-mm sequence a skipped TLB shootdown corrupts; \
+       the SMP shadow-checker smoke workload" d2 ]
 
 let find id =
   List.find_opt

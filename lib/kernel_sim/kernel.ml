@@ -19,7 +19,13 @@ type t = {
   k_rng : Rng.t;
   kernel_pt : Pagetable.t;
   mutable k_tasks : Task.t list;
-  mutable k_current : Task.t option;
+  (* SMP: one current task per CPU; [k_cpu] is the CPU whose point of
+     view the kernel paths execute from ([set_active_cpu] moves it and
+     swaps the MMU onto that CPU's registers/TLBs).  At [cpus = 1] this
+     is exactly the old single [k_current]. *)
+  k_cpus : int;
+  mutable k_cpu : int;
+  k_currents : Task.t option array;
   mutable next_pid : int;
   mutable next_pipe : int;
   mutable idle_count : int;
@@ -50,7 +56,36 @@ let span t = Memsys.span t.k_memsys
 let cycles t = t.k_perf.Perf.cycles
 let us t = Cost.us_of_cycles ~mhz:t.k_machine.Machine.mhz (cycles t)
 let tasks t = t.k_tasks
-let current t = t.k_current
+let current t = t.k_currents.(t.k_cpu)
+let cpus t = t.k_cpus
+let active_cpu t = t.k_cpu
+let current_on t ~cpu = t.k_currents.(cpu)
+
+(* Move the kernel's (and the MMU's) point of view to another CPU.
+   Pure bookkeeping — no charge; at [cpus = 1] this is a no-op, so the
+   single-CPU scheduler loop stays byte-identical. *)
+let set_active_cpu t cpu =
+  if cpu < 0 || cpu >= t.k_cpus then invalid_arg "Kernel.set_active_cpu";
+  if cpu <> t.k_cpu then begin
+    t.k_cpu <- cpu;
+    Mmu.set_cpu t.k_mmu cpu;
+    Trace.set_current_pid
+      (Memsys.trace t.k_memsys)
+      (match t.k_currents.(cpu) with
+      | Some task -> task.Task.pid
+      | None -> 0)
+  end
+
+let popcount mask =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go mask 0
+
+(* Remote CPUs that may cache translations of [mm]: every CPU the
+   address space has ever run on, minus the one doing the flushing.
+   Conservative, like Linux's mm_cpumask.  Always 0 at [cpus = 1]. *)
+let remote_targets t mm =
+  if t.k_cpus = 1 then 0
+  else Mm.cpumask mm land lnot (1 lsl t.k_cpu) land ((1 lsl t.k_cpus) - 1)
 
 (* --- boot ------------------------------------------------------------- *)
 
@@ -58,7 +93,31 @@ let lazy_flush_available t =
   t.k_policy.Policy.lazy_flush
   && Vsid_alloc.source t.k_vsid = Vsid_alloc.Context_counter
 
-let boot ~machine ~policy ?(seed = 42) ?shadow () =
+(* Boot-default CPU count, mirroring the Shadow/Trace registry pattern:
+   the experiment driver cannot reach the kernels the registry boots, so
+   [experiment --cpus N] arms the default process-wide.  Kernels booted
+   with more than one CPU register themselves so the driver can drain
+   their SMP counters afterwards. *)
+let max_cpus = 30
+
+let boot_cpus_default = ref 1
+
+let set_boot_cpus n =
+  if n < 1 || n > max_cpus then invalid_arg "Kernel.set_boot_cpus";
+  boot_cpus_default := n
+
+let boot_cpus () = !boot_cpus_default
+
+let smp_registered_rev : t list ref = ref []
+
+let drain_smp_registered () =
+  let l = List.rev !smp_registered_rev in
+  smp_registered_rev := [];
+  l
+
+let boot ~machine ~policy ?(seed = 42) ?shadow ?cpus () =
+  let cpus = match cpus with Some n -> n | None -> !boot_cpus_default in
+  if cpus < 1 || cpus > max_cpus then invalid_arg "Kernel.boot: cpus";
   let perf = Perf.create () in
   let memsys = Memsys.create ~machine ~perf in
   let rng = Rng.create ~seed in
@@ -79,7 +138,7 @@ let boot ~machine ~policy ?(seed = 42) ?shadow () =
   in
   let dummy_backing = { Mmu.walk = (fun _ -> Mmu.Unmapped { pt_refs = [||] }) } in
   let mmu =
-    Mmu.create ~htab_base_pa:Kparams.htab_pa ~machine ~memsys
+    Mmu.create ~htab_base_pa:Kparams.htab_pa ~cpus ~machine ~memsys
       ~knobs:(Policy.mmu_knobs policy) ~backing:dummy_backing ~rng:mmu_rng ()
   in
   (* Shadow checking: explicit request wins; otherwise honour the
@@ -110,7 +169,9 @@ let boot ~machine ~policy ?(seed = 42) ?shadow () =
       k_rng = rng;
       kernel_pt;
       k_tasks = [];
-      k_current = None;
+      k_cpus = cpus;
+      k_cpu = 0;
+      k_currents = Array.make cpus None;
       next_pid = 1;
       next_pipe = 0;
       idle_count = 0;
@@ -129,30 +190,40 @@ let boot ~machine ~policy ?(seed = 42) ?shadow () =
       { Pagetable.rpn; writable = true; inhibited = false; shared = false;
         cow = false }
   done;
-  if policy.Policy.bat_kernel_mapping then begin
-    (* BAT blocks are power-of-two sized; round an odd RAM size up (the
-       excess maps nothing the workloads can reach) *)
-    let rec pow2 n = if n >= machine.Machine.ram_bytes then n else pow2 (n * 2) in
-    let length = max Bat.min_block (pow2 Bat.min_block) in
-    Bat.set (Mmu.ibat mmu) ~index:0 ~base_ea:Kparams.kernel_base ~length
-      ~phys_base:0;
-    Bat.set (Mmu.dbat mmu) ~index:0 ~base_ea:Kparams.kernel_base ~length
-      ~phys_base:0
-  end;
-  if policy.Policy.bat_io_mapping then
-    (* I/O space: present for fidelity; no benchmark touches it, matching
-       the paper's finding that it does not matter. *)
-    Bat.set (Mmu.dbat mmu) ~index:1 ~base_ea:0xF0000000 ~length:(128 * 1024)
-      ~phys_base:0x10000000;
-  (* Kernel segment registers hold fixed VSIDs, loaded once. *)
-  Segment.load_kernel (Mmu.segments mmu) (fun sr -> Vsid_alloc.kernel_vsid ~sr);
+  (* Every CPU gets the same kernel view: BAT banks and kernel segment
+     registers are programmed per CPU at boot (cost-free bookkeeping, so
+     the [cpus = 1] boot charges exactly what it always did). *)
+  for cpu = 0 to cpus - 1 do
+    if policy.Policy.bat_kernel_mapping then begin
+      (* BAT blocks are power-of-two sized; round an odd RAM size up (the
+         excess maps nothing the workloads can reach) *)
+      let rec pow2 n =
+        if n >= machine.Machine.ram_bytes then n else pow2 (n * 2)
+      in
+      let length = max Bat.min_block (pow2 Bat.min_block) in
+      Bat.set (Mmu.ibat_of mmu ~cpu) ~index:0 ~base_ea:Kparams.kernel_base
+        ~length ~phys_base:0;
+      Bat.set (Mmu.dbat_of mmu ~cpu) ~index:0 ~base_ea:Kparams.kernel_base
+        ~length ~phys_base:0
+    end;
+    if policy.Policy.bat_io_mapping then
+      (* I/O space: present for fidelity; no benchmark touches it, matching
+         the paper's finding that it does not matter. *)
+      Bat.set (Mmu.dbat_of mmu ~cpu) ~index:1 ~base_ea:0xF0000000
+        ~length:(128 * 1024) ~phys_base:0x10000000;
+    (* Kernel segment registers hold fixed VSIDs, loaded once. *)
+    Segment.load_kernel (Mmu.segments_of mmu ~cpu) (fun sr ->
+        Vsid_alloc.kernel_vsid ~sr)
+  done;
   (* The MMU resolves kernel EAs against the linear map and user EAs
      against the current task. *)
   let walk ea =
     let pt =
       if Segment.is_kernel_ea ea then Some t.kernel_pt
       else
-        match t.k_current with
+        (* the active CPU's current task — the reference translator must
+           judge each CPU's accesses against that CPU's address space *)
+        match t.k_currents.(t.k_cpu) with
         | None -> None
         | Some task -> Some (Mm.pagetable task.Task.mm)
     in
@@ -181,6 +252,20 @@ let boot ~machine ~policy ?(seed = 42) ?shadow () =
      armed process-wide profiling, enabled and registered) inside
      [Memsys.create] above. *)
   Mmu.set_vsid_is_kernel mmu Vsid_alloc.is_kernel;
+  (* The §7 escape hatch at the 20-bit context-counter wrap: before any
+     wrapped id is re-issued, flush every TLB on every CPU and purge the
+     htab of zombie PTEs, so a retired id's stale translations — local
+     or cached in a remote TLB — cannot resurrect.  Live ids are skipped
+     by the allocator itself. *)
+  Vsid_alloc.set_on_wrap vsid (fun () ->
+      perf.Perf.vsid_wraps <- perf.Perf.vsid_wraps + 1;
+      Memsys.instructions memsys Kparams.vsid_wrap_instr;
+      Mmu.invalidate_all_cpus mmu;
+      match Mmu.htab mmu with
+      | None -> ()
+      | Some h ->
+          ignore (Mmu.reclaim_zombies mmu ~max_ptes:(Htab.capacity h) : int));
+  if cpus > 1 then smp_registered_rev := t :: !smp_registered_rev;
   t
 
 (* --- kernel path execution ------------------------------------------- *)
@@ -210,7 +295,7 @@ let run_path t ~off ~instrs ~data =
     data
 
 let current_task_refs t =
-  match t.k_current with
+  match t.k_currents.(t.k_cpu) with
   | None -> [ (false, Kparams.runqueue_ea) ]
   | Some task ->
       [ (false, Kparams.runqueue_ea);
@@ -219,7 +304,7 @@ let current_task_refs t =
 
 (* Stack save/restore traffic of the original C entry paths. *)
 let stack_refs t n =
-  match t.k_current with
+  match t.k_currents.(t.k_cpu) with
   | None -> []
   | Some task ->
       List.init n (fun i ->
@@ -274,16 +359,43 @@ let context_reset t ~mm =
   if Trace.enabled tr then
     Trace.emit tr Trace.Flush_context ~a:old_ctx ~b:fresh;
   Memsys.instructions t.k_memsys 40;
-  (* If this is the running address space the hardware registers must be
-     updated too. *)
-  match t.k_current with
-  | Some task when task.Task.mm == mm -> load_user_segments t mm
-  | Some _ | None -> ()
+  (* The lazy reset is also the SMP win: remote TLBs keep the retired
+     VSID's entries as zombies instead of being shot down — count every
+     remote invalidation the reset just elided.  But a CPU {e currently
+     running} this address space must reload its segment registers now,
+     which costs an IPI round; the local CPU reloads directly. *)
+  let remote = remote_targets t mm in
+  if remote <> 0 then
+    t.k_perf.Perf.shootdowns_deferred <-
+      t.k_perf.Perf.shootdowns_deferred + popcount remote;
+  for cpu = 0 to t.k_cpus - 1 do
+    match t.k_currents.(cpu) with
+    | Some task when task.Task.mm == mm ->
+        if cpu = t.k_cpu then load_user_segments t mm
+        else begin
+          t.k_perf.Perf.ipis_sent <- t.k_perf.Perf.ipis_sent + 1;
+          Memsys.stall t.k_memsys Cost.ipi_send_cycles;
+          Memsys.instructions t.k_memsys Cost.ipi_handler_instr;
+          Memsys.stall t.k_memsys Kparams.segment_load_cycles;
+          Segment.load_user (Mmu.segments_of t.k_mmu ~cpu) (fun sr ->
+              Mm.vsid_for_sr mm ~vsid_alloc:t.k_vsid sr);
+          Memsys.stall t.k_memsys Cost.ipi_ack_wait_cycles
+        end
+    | Some _ | None -> ()
+  done
+
+(* One precise page flush plus, on SMP, the broadcast shootdown to every
+   remote CPU that may cache the translation.  [targets = 0] (always, at
+   [cpus = 1]) makes the shootdown a complete no-op. *)
+let flush_page_mm t ~mm ~targets pea =
+  let vsid = vsid_of_ea t ~mm pea in
+  Mmu.flush_page_for_vsid t.k_mmu ~vsid pea;
+  if targets <> 0 then Mmu.shootdown_page t.k_mmu ~vsid ~targets pea
 
 let precise_flush_range t ~mm ~ea ~pages =
+  let targets = remote_targets t mm in
   for i = 0 to pages - 1 do
-    let pea = ea + (i lsl Addr.page_shift) in
-    Mmu.flush_page_for_vsid t.k_mmu ~vsid:(vsid_of_ea t ~mm pea) pea
+    flush_page_mm t ~mm ~targets (ea + (i lsl Addr.page_shift))
   done
 
 let flush_range t ~mm ~ea ~pages =
@@ -294,9 +406,11 @@ let flush_range t ~mm ~ea ~pages =
 
 let flush_whole_mm t ~mm =
   if lazy_flush_available t then context_reset t ~mm
-  else
+  else begin
+    let targets = remote_targets t mm in
     Pagetable.iter (Mm.pagetable mm) (fun ea _entry ->
-        Mmu.flush_page_for_vsid t.k_mmu ~vsid:(vsid_of_ea t ~mm ea) ea)
+        flush_page_mm t ~mm ~targets ea)
+  end
 
 (* --- processes -------------------------------------------------------- *)
 
@@ -356,7 +470,7 @@ let switch_to t task =
     (false, Kparams.runqueue_ea)
     :: (false, Task.task_struct_ea task)
     :: (true, Task.kstack_ea task)
-    :: ((match t.k_current with
+    :: ((match t.k_currents.(t.k_cpu) with
         | Some old -> [ (true, Task.task_struct_ea old) ]
         | None -> [])
        @ extra)
@@ -386,7 +500,11 @@ let switch_to t task =
     done
   end;
   task.Task.state <- Task.Ready;
-  t.k_current <- Some task;
+  t.k_currents.(t.k_cpu) <- Some task;
+  (* Linux-style mm_cpumask: this CPU may now cache translations of the
+     task's address space; flushes must include it until the mask is
+     reset (we never narrow it — conservative, like the real thing). *)
+  Mm.note_running task.Task.mm ~cpu:t.k_cpu;
   let tr = trace t in
   Trace.set_current_pid tr task.Task.pid;
   if Trace.enabled tr then
@@ -398,7 +516,7 @@ let switch_to t task =
     ~cost:(t.k_perf.Perf.cycles - switch_start)
 
 let require_current t =
-  match t.k_current with
+  match t.k_currents.(t.k_cpu) with
   | Some task -> task
   | None -> invalid_arg "Kernel: no current task"
 
@@ -439,7 +557,7 @@ let timer_tick t =
   run_path t ~off:Kparams.off_sched ~instrs
     ~data:(current_task_refs t @ extra);
   if t.k_policy.Policy.cache_preload then
-    match t.k_current with
+    match t.k_currents.(t.k_cpu) with
     | None -> ()
     | Some task ->
         let ts = Kparams.kernel_phys_of_virt (Task.task_struct_ea task) in
@@ -490,6 +608,13 @@ let idle_for t ~cycles:n =
   let tr = trace t in
   if Trace.enabled tr then
     Trace.emit_for tr Trace.Idle_window ~pid:0 ~a:0 ~b:(cycles t - start)
+
+(* An idle CPU pulled a runnable task off another CPU's queue: charge the
+   run-queue lock + migration bookkeeping and count it.  The scheduler
+   calls this; queue surgery itself lives there. *)
+let note_work_steal t =
+  t.k_perf.Perf.work_steals <- t.k_perf.Perf.work_steals + 1;
+  Memsys.instructions t.k_memsys Kparams.steal_instr
 
 (* Release one mapping's frame: page-cache/device frames are not ours;
    a copy-on-write frame is freed only by its last referent. *)
@@ -552,10 +677,10 @@ let handle_user_fault t kind ea =
           in
           Pagetable.map pt ~physmem:t.k_physmem ~ea upgraded;
           charge_pt_update t pt ~ea;
-          (* the stale read-only translation must die before the retry *)
-          Mmu.flush_page_for_vsid t.k_mmu
-            ~vsid:(vsid_of_ea t ~mm ea)
-            ea;
+          (* the stale read-only translation must die before the retry —
+             on every CPU that may cache it, or a sibling thread keeps
+             writing the shared frame through the old mapping *)
+          flush_page_mm t ~mm ~targets:(remote_targets t mm) ea;
           raise Cow_broken
         end
       | Some _ ->
@@ -797,7 +922,7 @@ let sys_exit t =
     ~free_frame:(fun _ -> () (* frames already released above *));
   task.Task.state <- Task.Exited;
   t.k_tasks <- List.filter (fun other -> other != task) t.k_tasks;
-  t.k_current <- None;
+  t.k_currents.(t.k_cpu) <- None;
   syscall_ret t
 
 (* --- pipes ------------------------------------------------------------ *)

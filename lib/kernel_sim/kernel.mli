@@ -25,7 +25,7 @@ type t
 
 val boot :
   machine:Machine.t -> policy:Policy.t -> ?seed:int -> ?shadow:bool ->
-  unit -> t
+  ?cpus:int -> unit -> t
 (** Build and boot a system: reserve the kernel image, premap the linear
     kernel map, program BATs (policy permitting), install kernel segment
     registers and the MMU backing, and start the performance monitor.
@@ -35,7 +35,29 @@ val boot :
     process-wide {!Ppc.Shadow.boot_enabled} default applies and any
     checker so created is {!Ppc.Shadow.register}ed for the driver to
     drain — the hook [experiment --shadow] uses to reach kernels booted
-    deep inside the experiment registry. *)
+    deep inside the experiment registry.
+
+    [?cpus] boots an SMP machine: per-CPU segment registers, BAT banks
+    and TLBs behind one shared memory system and htab, with every CPU's
+    kernel mapping programmed at boot.  When omitted, the process-wide
+    {!set_boot_cpus} default (1) applies, and a kernel booted with more
+    than one CPU registers itself for {!drain_smp_registered}.  At
+    [cpus = 1] the boot — and everything after it — is byte-identical
+    to the single-CPU kernel.
+    @raise Invalid_argument when [cpus] is outside [1, 30]. *)
+
+val set_boot_cpus : int -> unit
+(** Arm the process-wide CPU-count default for subsequent boots that
+    omit [?cpus] — the hook [experiment --cpus N] uses to reach kernels
+    booted deep inside the experiment registry.
+    @raise Invalid_argument outside [1, 30]. *)
+
+val boot_cpus : unit -> int
+(** The current boot default. *)
+
+val drain_smp_registered : unit -> t list
+(** Kernels booted with [cpus > 1] since the last drain, in boot order —
+    the driver reads their shootdown/steal counters after a run. *)
 
 (** {1 Accessors} *)
 
@@ -84,7 +106,29 @@ val us : t -> float
 (** Wall clock in microseconds. *)
 
 val tasks : t -> Task.t list
+
 val current : t -> Task.t option
+(** The {e active} CPU's current task. *)
+
+(** {1 SMP} *)
+
+val cpus : t -> int
+
+val active_cpu : t -> int
+(** The CPU whose point of view kernel paths currently execute from. *)
+
+val current_on : t -> cpu:int -> Task.t option
+
+val set_active_cpu : t -> int -> unit
+(** Move the kernel's (and MMU's) point of view to another CPU.  Pure
+    bookkeeping, no charge; a no-op when already there.  The scheduler
+    calls this as it walks its per-CPU run queues.
+    @raise Invalid_argument for an out-of-range CPU. *)
+
+val note_work_steal : t -> unit
+(** Charge and count one idle-steal migration ({!Kparams.steal_instr});
+    called by the scheduler when an idle CPU pulls a runnable task from
+    another CPU's queue. *)
 
 (** {1 Processes} *)
 

@@ -61,6 +61,8 @@ let tick_slow_stack_refs = 32
 let idle_reclaim_chunk = 64
 let idle_reclaim_interval = 16
 let clear_page_instr = 64
+let vsid_wrap_instr = 200
+let steal_instr = 120
 
 (* Kernel data objects live at disjoint offsets in the 1 MB data region:
    task structs in [8K, 264K), kernel stacks in [300K, 556K), pipe

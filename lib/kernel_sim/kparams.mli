@@ -153,6 +153,15 @@ val clear_page_instr : int
 (** Loop overhead for clearing one 4 KB page (on top of the line
     stores). *)
 
+val vsid_wrap_instr : int
+(** Kernel bookkeeping when the 20-bit context counter wraps and the §7
+    escape hatch fires (full TLB invalidate on every CPU plus an htab
+    zombie purge) — on top of the purge's own memory references. *)
+
+val steal_instr : int
+(** Run-queue lock + migration bookkeeping when an idle CPU steals a
+    runnable task from another CPU's queue. *)
+
 (** {1 Kernel data objects} *)
 
 val task_struct_ea : pid:int -> Addr.ea

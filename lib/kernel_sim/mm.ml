@@ -18,6 +18,9 @@ type t = {
   pt : Pagetable.t;
   mutable mm_vmas : vma list;
   mutable mmap_cursor : Addr.ea;
+  (* bitmask of CPUs this address space has run on — the conservative
+     shootdown target set, like Linux's mm_cpumask; never narrowed *)
+  mutable mm_cpumask : int;
   mm_trace : Trace.t option;
 }
 
@@ -36,11 +39,15 @@ let create ?trace ~physmem ~vsid_alloc ~pid () =
     pt = Pagetable.create ~physmem ~ctx_pa;
     mm_vmas = [];
     mmap_cursor = user_mmap_base;
+    mm_cpumask = 0;
     mm_trace = trace }
 
 let pid t = t.mm_pid
 let ctx t = t.mm_ctx
 let set_ctx t ctx = t.mm_ctx <- ctx
+
+let cpumask t = t.mm_cpumask
+let note_running t ~cpu = t.mm_cpumask <- t.mm_cpumask lor (1 lsl cpu)
 
 let vsid_for_sr t ~vsid_alloc sr = Vsid_alloc.vsid vsid_alloc ~ctx:t.mm_ctx ~sr
 

@@ -60,6 +60,15 @@ val ctx : t -> int
 val set_ctx : t -> int -> unit
 (** Install a renewed context id (lazy whole-context flush). *)
 
+val cpumask : t -> int
+(** Bitmask of CPUs this address space has ever run on — the
+    conservative TLB-shootdown target set (Linux's [mm_cpumask]).
+    Never narrowed. *)
+
+val note_running : t -> cpu:int -> unit
+(** Record that the address space is running on [cpu] (called by the
+    kernel's context switch). *)
+
 val vsid_for_sr : t -> vsid_alloc:Vsid_alloc.t -> int -> int
 (** The VSID this address space loads into user segment register [sr]. *)
 

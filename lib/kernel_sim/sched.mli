@@ -1,14 +1,22 @@
-(** A cooperative round-robin scheduler.
+(** A cooperative round-robin scheduler with per-CPU run queues.
 
     The microbenchmarks drive {!Kernel.switch_to} directly (they {e are}
     the schedule); macro workloads with real blocking — compile jobs
     sleeping on disk while others compute — need an actual scheduler.
     Processes are step functions: each call runs one bounded slice on the
     current task and says what happens next ([Yield] back to the queue,
-    [Sleep] until a deadline, or [Done]).  When every process is asleep
-    the machine runs the idle task until the earliest wake-up — which is
-    exactly when the §7/§9 idle work (zombie reclaim, page clearing)
-    happens on a loaded system. *)
+    [Sleep] until a deadline, or [Done]).
+
+    On an SMP kernel each CPU owns a run queue (enrollment deals tasks
+    round-robin across them) and the scheduler gives every CPU one turn
+    per pass, moving the kernel's point of view with
+    {!Kernel.set_active_cpu}.  A CPU whose queue has nothing runnable
+    steals from the most-loaded other queue — never the victim's last
+    runnable task — charging {!Kernel.note_work_steal} per migration.
+    Only when {e no} CPU can run does the machine idle until the
+    earliest wake-up — which is exactly when the §7/§9 idle work (zombie
+    reclaim, page clearing) happens on a loaded system.  At one CPU all
+    of this reduces to the old single-queue scheduler, byte-identically. *)
 
 (** What a process slice reports back. *)
 type outcome =
@@ -19,16 +27,17 @@ type outcome =
 type t
 
 val create : Kernel.t -> t
+(** One run queue per kernel CPU. *)
 
 val add : t -> Task.t -> (Kernel.t -> outcome) -> unit
-(** [add t task step] enrolls a process.  The scheduler switches to
-    [task] before every [step] call. *)
+(** [add t task step] enrolls a process on the next queue round-robin.
+    The scheduler switches to [task] before every [step] call. *)
 
 val live : t -> int
-(** Enrolled processes not yet [Done]. *)
+(** Enrolled processes not yet [Done], across all queues. *)
 
 val run : t -> unit
 (** Round-robin until every process is [Done].  Context switches are
-    charged only when the running task actually changes; sleeping with
-    nothing else runnable charges idle time.  (Timer interrupts fire
-    inside the kernel's own operations — see {!Kernel.timer_tick}.) *)
+    charged only when a CPU's running task actually changes; sleeping
+    with nothing runnable anywhere charges idle time.  (Timer interrupts
+    fire inside the kernel's own operations — see {!Kernel.timer_tick}.) *)

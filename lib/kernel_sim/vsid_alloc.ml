@@ -14,17 +14,36 @@ let scatter_multiplier = 897
    table. *)
 let kernel_base = 0xFF000
 
+(* Context ids live in 20 bits: beyond [ctx_space] the munged vsid0
+   repeats, so the counter must wrap and re-issue ids — skipping any
+   whose VSIDs are still live (§7's escape hatch fires on each wrap to
+   purge whatever the retired ids left behind in TLBs and the htab). *)
+let ctx_space = 1 lsl 20
+
+(* Test-only: restore the pre-fix counter behavior (no wrap, no
+   live-id skipping) so the aliasing bug the wrap fix addresses can be
+   planted and shown observable by the shadow oracle. *)
+let test_unsafe_no_wrap = ref false
+
 type t = {
   src : id_source;
   mult : int;
-  live : (int, unit) Hashtbl.t;  (* keyed by each issued VSID *)
+  live : (int, unit) Hashtbl.t;      (* keyed by each issued VSID *)
+  live_ctx : (int, unit) Hashtbl.t;  (* keyed by live context id *)
+  by_pid : (int, int) Hashtbl.t;     (* Pid_based: pid -> issued ctx *)
+  owner : (int, int) Hashtbl.t;      (* Pid_based: ctx -> owning pid *)
   mutable next : int;
+  mutable wraps : int;
+  mutable on_wrap : unit -> unit;
 }
 
 let create ~source ~multiplier =
   if multiplier <= 0 then
     invalid_arg "Vsid_alloc.create: multiplier must be positive";
-  { src = source; mult = multiplier; live = Hashtbl.create 64; next = 1 }
+  { src = source; mult = multiplier;
+    live = Hashtbl.create 64; live_ctx = Hashtbl.create 64;
+    by_pid = Hashtbl.create 64; owner = Hashtbl.create 64;
+    next = 1; wraps = 0; on_wrap = (fun () -> ()) }
 
 let multiplier t = t.mult
 let source t = t.src
@@ -39,32 +58,108 @@ let is_kernel vsid = vsid lsr 4 = kernel_base
 
 (* A context collides with the kernel VSIDs when one of its segments
    lands in the kernel block [0xFF0000, 0xFF0010) — i.e. segment 15 with
-   a munged context in [0xF0000, 0xF0010); the counter skips such ids. *)
+   a munged context in [0xF0000, 0xF0010); both id sources skip such
+   ids. *)
 let collides_with_kernel t ctx =
   let v0 = vsid0_of t ctx in
   v0 >= 0xF0000 && v0 < 0xF0010
 
+let ctx_is_live t ctx = Hashtbl.mem t.live_ctx ctx
+
+(* Would issuing [ctx] alias a VSID some other live context already
+   owns?  With an odd multiplier the munge is a bijection mod 2^20, so
+   this only triggers once the counter wraps; even multipliers (the
+   mult-16 ablation) can alias earlier, and the same check covers
+   them. *)
+let vsid_taken t ctx = Hashtbl.mem t.live (vsid_of t ctx 0)
+
+let set_on_wrap t f = t.on_wrap <- f
+let wraps t = t.wraps
+
+let mark_live t ctx =
+  if not (ctx_is_live t ctx) then begin
+    for sr = 0 to 15 do
+      Hashtbl.replace t.live (vsid_of t ctx sr) ()
+    done;
+    Hashtbl.replace t.live_ctx ctx ()
+  end
+
 let new_context t ~pid =
   let ctx =
     match t.src with
-    | Pid_based -> pid
-    | Context_counter ->
+    | Pid_based ->
+        (* The id is the pid — unless its munge collides with the kernel
+           VSID block or (under an even multiplier) aliases another live
+           context, in which case linear-probe to the nearest safe id.
+           A pid's id is stable: re-issuing returns the same ctx it got
+           last time, as long as no other pid has claimed it since. *)
+        let start = pid land (ctx_space - 1) in
+        let cached =
+          match Hashtbl.find_opt t.by_pid start with
+          | Some c when Hashtbl.find_opt t.owner c = Some start -> Some c
+          | Some _ | None -> None
+        in
+        let ctx =
+          match cached with
+          | Some c -> c
+          | None ->
+              let rec probe c =
+                let c = c land (ctx_space - 1) in
+                if
+                  collides_with_kernel t c || ctx_is_live t c
+                  || vsid_taken t c
+                then probe (c + 1)
+                else c
+              in
+              probe start
+        in
+        Hashtbl.replace t.by_pid start ctx;
+        Hashtbl.replace t.owner ctx start;
+        ctx
+    | Context_counter when !test_unsafe_no_wrap ->
+        (* Pre-fix behavior: monotonic, never wraps, never checks
+           liveness — ctx and ctx + 2^20 silently share a vsid0. *)
         let rec pick () =
           let c = t.next in
           t.next <- t.next + 1;
           if collides_with_kernel t c then pick () else c
         in
         pick ()
+    | Context_counter ->
+        let rec pick tries =
+          if tries > ctx_space then
+            invalid_arg "Vsid_alloc.new_context: context space exhausted";
+          let c = t.next in
+          t.next <- t.next + 1;
+          if t.next >= ctx_space then begin
+            (* 20-bit wrap: restart after 0 (ctx 0 is never issued) and
+               fire the escape hatch — the caller flushes every TLB and
+               purges zombie PTEs so any non-live id is safe to reuse. *)
+            t.next <- 1;
+            t.wraps <- t.wraps + 1;
+            t.on_wrap ()
+          end;
+          if collides_with_kernel t c || ctx_is_live t c || vsid_taken t c
+          then pick (tries + 1)
+          else c
+        in
+        pick 0
   in
-  for sr = 0 to 15 do
-    Hashtbl.replace t.live (vsid_of t ctx sr) ()
-  done;
+  mark_live t ctx;
   ctx
 
 let retire_context t ctx =
-  for sr = 0 to 15 do
-    Hashtbl.remove t.live (vsid_of t ctx sr)
-  done
+  if ctx_is_live t ctx then begin
+    for sr = 0 to 15 do
+      Hashtbl.remove t.live (vsid_of t ctx sr)
+    done;
+    Hashtbl.remove t.live_ctx ctx
+  end
+  else
+    (* Pre-fix aliased ids (test-only path) still drop their VSIDs. *)
+    for sr = 0 to 15 do
+      Hashtbl.remove t.live (vsid_of t ctx sr)
+    done
 
 let renew_context t ~old_ctx ~pid =
   match t.src with
@@ -80,4 +175,14 @@ let is_live t vsid = is_kernel vsid || Hashtbl.mem t.live vsid
 
 let is_zombie t vsid = not (is_live t vsid)
 
-let live_contexts t = Hashtbl.length t.live / 16
+let live_contexts t =
+  let n = Hashtbl.length t.live_ctx in
+  (* Post-fix invariant: no two live contexts share a vsid0, so the VSID
+     table holds exactly 16 entries per context.  The pre-fix
+     [Hashtbl.length t.live / 16] silently under-counted on alias. *)
+  assert (Hashtbl.length t.live = 16 * n);
+  n
+
+let unsafe_set_next t n =
+  if n < 1 then invalid_arg "Vsid_alloc.unsafe_set_next";
+  t.next <- n

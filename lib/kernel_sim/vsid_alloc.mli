@@ -38,10 +38,33 @@ val create : source:id_source -> multiplier:int -> t
 val multiplier : t -> int
 val source : t -> id_source
 
+val ctx_space : int
+(** 2^20 — context ids live in the 20 low VSID bits, so the counter
+    wraps here and ids are re-issued. *)
+
 val new_context : t -> pid:int -> int
-(** [new_context t ~pid] issues a live context id.  With [Pid_based] the
-    id {e is} [pid]; with [Context_counter] it is the next counter
-    value. *)
+(** [new_context t ~pid] issues a live context id.
+
+    With [Pid_based] the id {e is} [pid] — unless the pid munges into
+    the kernel VSID block or (under an even multiplier) aliases another
+    live context, in which case it is remapped by linear probing.  A
+    pid's id is stable: re-issuing returns the id it got last time
+    unless another pid has since claimed it.
+
+    With [Context_counter] it is the next counter value; the counter
+    wraps at {!ctx_space}, fires the {!set_on_wrap} hook, and skips ids
+    that are still live, munge into the kernel block, or whose VSIDs a
+    live context still owns.
+    @raise Invalid_argument when every id is live (context exhaustion). *)
+
+val set_on_wrap : t -> (unit -> unit) -> unit
+(** Install the wrap escape hatch (§7): called once per counter wrap,
+    before any wrapped id is issued.  The kernel's hook flushes every
+    TLB on every CPU and purges zombie htab PTEs, making any non-live id
+    safe to reuse. *)
+
+val wraps : t -> int
+(** Counter wrap events so far. *)
 
 val renew_context : t -> old_ctx:int -> pid:int -> int
 (** [renew_context t ~old_ctx ~pid] retires [old_ctx] (its VSIDs become
@@ -70,3 +93,22 @@ val is_kernel : int -> bool
 (** Does this VSID belong to a kernel segment? *)
 
 val live_contexts : t -> int
+(** Exact number of live contexts.  Asserts the post-wrap-fix invariant
+    that the VSID table holds exactly 16 entries per live context (the
+    pre-fix [length / 16] silently under-counted when aliased contexts
+    collapsed entries). *)
+
+(** {1 Test hooks}
+
+    For planting the pre-fix aliasing bug in diagnostics — never used on
+    a measurement path. *)
+
+val unsafe_set_next : t -> int -> unit
+(** Jump the context counter (e.g. to just below {!ctx_space} so a churn
+    test reaches the wrap cheaply).
+    @raise Invalid_argument for values below 1. *)
+
+val test_unsafe_no_wrap : bool ref
+(** When set, [Context_counter] reverts to the pre-fix behavior: no
+    wrap, no liveness check — ctx and ctx + 2^20 silently share VSIDs.
+    Tests must reset it. *)

@@ -16,6 +16,16 @@ let htab_insert_fast_instr = 30
 let htab_insert_slow_instr = 190
 let htab_insert_slow_stack_refs = 16
 
+(* SMP shootdown/IPI model.  The PPC 603/604 have no broadcast tlbie
+   snooping in our configuration, so a cross-CPU invalidate is a
+   software IPI round: the initiator writes the interrupt controller
+   and spins for acknowledgements; each remote CPU takes an external
+   interrupt, runs a short handler and executes the invalidate
+   locally.  Charged on the single serialized clock. *)
+let ipi_send_cycles = 40
+let ipi_ack_wait_cycles = 24
+let ipi_handler_instr = 36
+
 let dcbz_cycles = 2
 let prefetch_cycles = 2
 let zombie_check_instr = 40

@@ -55,6 +55,17 @@ val htab_insert_slow_instr : int
 val htab_insert_slow_stack_refs : int
 (** Extra state save/restore memory references of the C insert path. *)
 
+val ipi_send_cycles : int
+(** Cycles for the shootdown initiator to post one IPI (interrupt
+    controller write + ordering). *)
+
+val ipi_ack_wait_cycles : int
+(** Cycles the initiator spins waiting for one remote acknowledgement. *)
+
+val ipi_handler_instr : int
+(** Instructions of the remote external-interrupt handler around the
+    invalidate itself (entry, decode, ack, rfi). *)
+
 val dcbz_cycles : int
 (** Cycles for a [dcbz] (data cache block zero): the line is allocated
     and zeroed in the cache with {e no} memory fetch — fast, but it

@@ -36,11 +36,27 @@ type t = {
   memsys : Memsys.t;
   knobs : knobs;
   engine : Reload_engine.t;
-  seg : Segment.t;
-  ibat : Bat.t;
-  dbat : Bat.t;
-  itlb : Tlb.t;
-  dtlb : Tlb.t;
+  (* Per-CPU translation state: each CPU owns a segment-register file,
+     BAT banks and split TLBs; the htab, caches and clock are shared.
+     The hot path reads the current CPU's structures through the mutable
+     aliases below — [set_cpu] swaps them, so at [cpus = 1] the access
+     path is byte-for-byte the single-CPU one. *)
+  n_cpus : int;
+  mutable cur_cpu : int;
+  segs : Segment.t array;
+  ibats : Bat.t array;
+  dbats : Bat.t array;
+  itlbs : Tlb.t array;
+  dtlbs : Tlb.t array;
+  mutable seg : Segment.t;
+  mutable ibat : Bat.t;
+  mutable dbat : Bat.t;
+  mutable itlb : Tlb.t;
+  mutable dtlb : Tlb.t;
+  (* Per-CPU miss accounting (the shared Perf totals stay authoritative;
+     these split them by CPU for the SMP report). *)
+  cpu_itlb_misses : int array;
+  cpu_dtlb_misses : int array;
   htab : Htab.t option;
   mutable backing : backing;
   mutable is_zombie : int -> bool;
@@ -65,6 +81,12 @@ let handler_stack_pa = 0x0000_8000
    charged, so an armed-but-never-triggering run stays byte-identical. *)
 let test_skip_tlb_invalidations = ref 0
 
+(* Test-only fault injection for the SMP paths: a nonzero value makes
+   [shootdown_page] charge the full IPI round but skip the remote TLB
+   invalidations — the stale-remote-TLB bug class.  Positive = skip that
+   many shootdown rounds then disarm; negative = skip every one. *)
+let test_skip_shootdowns = ref 0
+
 let machine t = t.machine
 let memsys t = t.memsys
 let knobs t = t.knobs
@@ -75,6 +97,26 @@ let dbat t = t.dbat
 let itlb t = t.itlb
 let dtlb t = t.dtlb
 let htab t = t.htab
+
+let n_cpus t = t.n_cpus
+let cur_cpu t = t.cur_cpu
+
+let set_cpu t cpu =
+  if cpu < 0 || cpu >= t.n_cpus then invalid_arg "Mmu.set_cpu";
+  if cpu <> t.cur_cpu then begin
+    t.cur_cpu <- cpu;
+    t.seg <- t.segs.(cpu);
+    t.ibat <- t.ibats.(cpu);
+    t.dbat <- t.dbats.(cpu);
+    t.itlb <- t.itlbs.(cpu);
+    t.dtlb <- t.dtlbs.(cpu)
+  end
+
+let segments_of t ~cpu = t.segs.(cpu)
+let ibat_of t ~cpu = t.ibats.(cpu)
+let dbat_of t ~cpu = t.dbats.(cpu)
+let cpu_itlb_misses t ~cpu = t.cpu_itlb_misses.(cpu)
+let cpu_dtlb_misses t ~cpu = t.cpu_dtlb_misses.(cpu)
 
 let set_backing t backing = t.backing <- backing
 let set_vsid_is_zombie t f = t.is_zombie <- f
@@ -128,8 +170,9 @@ let handler t ~fast ~slow ~slow_stack_refs =
     done
   end
 
-let create ?(htab_base_pa = 0x0030_0000) ~machine ~memsys ~knobs ~backing ~rng
-    () =
+let create ?(htab_base_pa = 0x0030_0000) ?(cpus = 1) ~machine ~memsys ~knobs
+    ~backing ~rng () =
+  if cpus < 1 then invalid_arg "Mmu.create: cpus must be at least 1";
   let engine = Reload_engine.select ~machine ~use_htab:knobs.use_htab in
   (* A hardware-reload machine cannot bypass the htab; the knob records
      what the selected backend actually does. *)
@@ -137,16 +180,30 @@ let create ?(htab_base_pa = 0x0030_0000) ~machine ~memsys ~knobs ~backing ~rng
   let tlb_of (g : Machine.tlb_geometry) =
     Tlb.create ~sets:g.Machine.tlb_sets ~ways:g.Machine.tlb_ways
   in
+  let segs = Array.init cpus (fun _ -> Segment.create ()) in
+  let ibats = Array.init cpus (fun _ -> Bat.create ()) in
+  let dbats = Array.init cpus (fun _ -> Bat.create ()) in
+  let itlbs = Array.init cpus (fun _ -> tlb_of machine.Machine.itlb) in
+  let dtlbs = Array.init cpus (fun _ -> tlb_of machine.Machine.dtlb) in
   let t =
     { machine;
       memsys;
       knobs;
       engine;
-      seg = Segment.create ();
-      ibat = Bat.create ();
-      dbat = Bat.create ();
-      itlb = tlb_of machine.Machine.itlb;
-      dtlb = tlb_of machine.Machine.dtlb;
+      n_cpus = cpus;
+      cur_cpu = 0;
+      segs;
+      ibats;
+      dbats;
+      itlbs;
+      dtlbs;
+      seg = segs.(0);
+      ibat = ibats.(0);
+      dbat = dbats.(0);
+      itlb = itlbs.(0);
+      dtlb = dtlbs.(0);
+      cpu_itlb_misses = Array.make cpus 0;
+      cpu_dtlb_misses = Array.make cpus 0;
       htab =
         (if Reload_engine.uses_htab engine then
            Some
@@ -225,7 +282,7 @@ let shadow_check t kind ea ~pa ~inhibited ~answered =
   match t.shadow with
   | None -> ()
   | Some sh ->
-      Shadow.check sh
+      Shadow.check sh ~cpu:t.cur_cpu
         ~pid:(Trace.current_pid (trace t))
         ~vsid:(Segment.vsid_for t.seg ea)
         ~ea ~kind:(shadow_kind kind)
@@ -401,8 +458,12 @@ let count_lookup t kind =
 let count_miss t kind =
   let p = perf t in
   match kind with
-  | Fetch -> p.Perf.itlb_misses <- p.Perf.itlb_misses + 1
-  | Load | Store -> p.Perf.dtlb_misses <- p.Perf.dtlb_misses + 1
+  | Fetch ->
+      p.Perf.itlb_misses <- p.Perf.itlb_misses + 1;
+      t.cpu_itlb_misses.(t.cur_cpu) <- t.cpu_itlb_misses.(t.cur_cpu) + 1
+  | Load | Store ->
+      p.Perf.dtlb_misses <- p.Perf.dtlb_misses + 1;
+      t.cpu_dtlb_misses.(t.cur_cpu) <- t.cpu_dtlb_misses.(t.cur_cpu) + 1
 
 let source_of_ea ea =
   if Segment.is_kernel_ea ea then Cache.Kernel else Cache.User
@@ -572,6 +633,49 @@ let invalidate_tlbs t =
   Tlb.invalidate_all t.itlb;
   Tlb.invalidate_all t.dtlb;
   note_flush t ~what:"tlb-invalidate-all" ~vsid:0 ~ea:0
+
+(* --- cross-CPU shootdowns --------------------------------------------- *)
+
+(* One shootdown round for a single page: the initiator posts an IPI to
+   every CPU in [targets] (a bitmask of remote CPUs), each remote runs
+   the handler and invalidates the page in its own TLBs, and the
+   initiator spins for the acknowledgements.  All charges land on the
+   shared serialized clock.  A zero [targets] is a complete no-op — the
+   [cpus = 1] hot path never reaches any of this. *)
+let shootdown_page t ~vsid ~targets ea =
+  if targets <> 0 then begin
+    let p = perf t in
+    p.Perf.tlb_shootdowns <- p.Perf.tlb_shootdowns + 1;
+    let vpn = Addr.vpn_of ~vsid ~ea in
+    (* test-only stale-remote-TLB injection: costs still charged *)
+    let skip = !test_skip_shootdowns <> 0 in
+    if !test_skip_shootdowns > 0 then decr test_skip_shootdowns;
+    for cpu = 0 to t.n_cpus - 1 do
+      if targets land (1 lsl cpu) <> 0 then begin
+        p.Perf.ipis_sent <- p.Perf.ipis_sent + 1;
+        Memsys.stall t.memsys Cost.ipi_send_cycles;
+        Memsys.instructions t.memsys Cost.ipi_handler_instr;
+        Memsys.stall t.memsys tlbie_cycles;
+        if not skip then begin
+          Tlb.invalidate_page t.itlbs.(cpu) vpn;
+          Tlb.invalidate_page t.dtlbs.(cpu) vpn
+        end;
+        p.Perf.remote_tlb_invalidates <- p.Perf.remote_tlb_invalidates + 1;
+        Memsys.stall t.memsys Cost.ipi_ack_wait_cycles
+      end
+    done;
+    note_flush t ~what:"shootdown-page" ~vsid ~ea
+  end
+
+(* Invalidate every TLB on every CPU — the §7 escape hatch the VSID
+   wrap fires (and boot-time cleanup).  Cost-free bookkeeping like
+   [invalidate_tlbs]; the caller charges whatever its path costs. *)
+let invalidate_all_cpus t =
+  for cpu = 0 to t.n_cpus - 1 do
+    Tlb.invalidate_all t.itlbs.(cpu);
+    Tlb.invalidate_all t.dtlbs.(cpu)
+  done;
+  note_flush t ~what:"tlb-invalidate-all-cpus" ~vsid:0 ~ea:0
 
 let reclaim_zombies t ~max_ptes =
   match t.htab with

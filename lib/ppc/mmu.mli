@@ -85,6 +85,7 @@ type t
 
 val create :
   ?htab_base_pa:Addr.pa ->
+  ?cpus:int ->
   machine:Machine.t ->
   memsys:Memsys.t ->
   knobs:knobs ->
@@ -94,7 +95,13 @@ val create :
   t
 (** Builds segments, BAT banks, TLBs and (unless a software-reload machine
     with [use_htab = false]) the hashed page table, located at
-    [htab_base_pa] in physical memory. *)
+    [htab_base_pa] in physical memory.
+
+    [cpus] (default 1) builds that many per-CPU segment files, BAT banks
+    and split TLB pairs behind the one shared memory system and htab;
+    {!set_cpu} selects whose structures the access path uses.  At
+    [cpus = 1] every path is byte-identical to the single-CPU engine.
+    @raise Invalid_argument when [cpus < 1]. *)
 
 val machine : t -> Machine.t
 val memsys : t -> Memsys.t
@@ -108,6 +115,28 @@ val ibat : t -> Bat.t
 val dbat : t -> Bat.t
 val itlb : t -> Tlb.t
 val dtlb : t -> Tlb.t
+(** The {e current} CPU's structures (CPU 0 until {!set_cpu}). *)
+
+val n_cpus : t -> int
+
+val cur_cpu : t -> int
+(** The CPU whose segments/BATs/TLBs the access path currently uses. *)
+
+val set_cpu : t -> int -> unit
+(** Swap the access path onto another CPU's segment file, BAT banks and
+    TLBs.  Pure bookkeeping — no cost is charged (the kernel charges
+    context-switch work where it belongs).
+    @raise Invalid_argument for an out-of-range CPU. *)
+
+val segments_of : t -> cpu:int -> Segment.t
+val ibat_of : t -> cpu:int -> Bat.t
+val dbat_of : t -> cpu:int -> Bat.t
+(** A specific CPU's structures, current or not — boot programs every
+    CPU's kernel segments and BATs through these. *)
+
+val cpu_itlb_misses : t -> cpu:int -> int
+val cpu_dtlb_misses : t -> cpu:int -> int
+(** Per-CPU slices of the shared [itlb_misses]/[dtlb_misses] totals. *)
 
 val htab : t -> Htab.t option
 (** [None] exactly when the htab has been "improved away" (§6.2). *)
@@ -166,7 +195,23 @@ val flush_page_for_vsid : t -> vsid:int -> Addr.ea -> unit
     mappings). *)
 
 val invalidate_tlbs : t -> unit
-(** Drop every TLB entry (cost-free bookkeeping; used at boot). *)
+(** Drop every TLB entry on the {e current} CPU (cost-free bookkeeping;
+    used at boot). *)
+
+val shootdown_page : t -> vsid:int -> targets:int -> Addr.ea -> unit
+(** One cross-CPU TLB shootdown round for one page.  [targets] is a
+    bitmask of {e remote} CPUs: for each, the initiator charges
+    {!Cost.ipi_send_cycles} and spins {!Cost.ipi_ack_wait_cycles}, and
+    the remote charges {!Cost.ipi_handler_instr} plus the [tlbie] before
+    invalidating the page in its own TLBs — all on the shared clock.
+    [targets = 0] is a complete no-op, so single-CPU runs never pay
+    anything here.  Counts [tlb_shootdowns], [ipis_sent] and
+    [remote_tlb_invalidates]. *)
+
+val invalidate_all_cpus : t -> unit
+(** Drop every TLB entry on {e every} CPU — the §7 escape hatch the VSID
+    counter wrap fires.  Cost-free bookkeeping; the caller charges its
+    path. *)
 
 val reclaim_zombies : t -> max_ptes:int -> int
 (** Idle-task zombie reclaim (§7): scan up to [max_ptes] htab slots from
@@ -187,3 +232,11 @@ val test_skip_tlb_invalidations : int ref
     shadow checker exists to catch.  Positive values count down (skip
     the next [n] page flushes); [-1] skips all.  Leave at [0] (the
     default) for correct operation. *)
+
+val test_skip_shootdowns : int ref
+(** Test-only fault injection for SMP: while nonzero, {!shootdown_page}
+    charges the full IPI round but {e skips} the remote TLB
+    invalidations — the stale-remote-TLB bug class the cross-CPU shadow
+    checking exists to catch.  Positive values count down (skip the next
+    [n] shootdown rounds); [-1] skips all.  Leave at [0] (the default)
+    for correct operation. *)

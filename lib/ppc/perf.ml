@@ -29,6 +29,12 @@ type t = {
   mutable pages_cleared_idle : int;
   mutable prezeroed_hits : int;
   mutable get_free_page_calls : int;
+  mutable ipis_sent : int;
+  mutable tlb_shootdowns : int;
+  mutable shootdowns_deferred : int;
+  mutable remote_tlb_invalidates : int;
+  mutable work_steals : int;
+  mutable vsid_wraps : int;
 }
 
 let create () =
@@ -61,7 +67,13 @@ let create () =
     zombies_reclaimed = 0;
     pages_cleared_idle = 0;
     prezeroed_hits = 0;
-    get_free_page_calls = 0 }
+    get_free_page_calls = 0;
+    ipis_sent = 0;
+    tlb_shootdowns = 0;
+    shootdowns_deferred = 0;
+    remote_tlb_invalidates = 0;
+    work_steals = 0;
+    vsid_wraps = 0 }
 
 let reset t =
   t.cycles <- 0;
@@ -93,7 +105,13 @@ let reset t =
   t.zombies_reclaimed <- 0;
   t.pages_cleared_idle <- 0;
   t.prezeroed_hits <- 0;
-  t.get_free_page_calls <- 0
+  t.get_free_page_calls <- 0;
+  t.ipis_sent <- 0;
+  t.tlb_shootdowns <- 0;
+  t.shootdowns_deferred <- 0;
+  t.remote_tlb_invalidates <- 0;
+  t.work_steals <- 0;
+  t.vsid_wraps <- 0
 
 let snapshot t =
   { cycles = t.cycles;
@@ -125,7 +143,13 @@ let snapshot t =
     zombies_reclaimed = t.zombies_reclaimed;
     pages_cleared_idle = t.pages_cleared_idle;
     prezeroed_hits = t.prezeroed_hits;
-    get_free_page_calls = t.get_free_page_calls }
+    get_free_page_calls = t.get_free_page_calls;
+    ipis_sent = t.ipis_sent;
+    tlb_shootdowns = t.tlb_shootdowns;
+    shootdowns_deferred = t.shootdowns_deferred;
+    remote_tlb_invalidates = t.remote_tlb_invalidates;
+    work_steals = t.work_steals;
+    vsid_wraps = t.vsid_wraps }
 
 let diff ~after ~before =
   { cycles = after.cycles - before.cycles;
@@ -159,7 +183,13 @@ let diff ~after ~before =
     pages_cleared_idle = after.pages_cleared_idle - before.pages_cleared_idle;
     prezeroed_hits = after.prezeroed_hits - before.prezeroed_hits;
     get_free_page_calls =
-      after.get_free_page_calls - before.get_free_page_calls }
+      after.get_free_page_calls - before.get_free_page_calls;
+    ipis_sent = after.ipis_sent - before.ipis_sent;
+    tlb_shootdowns = after.tlb_shootdowns - before.tlb_shootdowns;
+    shootdowns_deferred = after.shootdowns_deferred - before.shootdowns_deferred;
+    remote_tlb_invalidates = after.remote_tlb_invalidates - before.remote_tlb_invalidates;
+    work_steals = after.work_steals - before.work_steals;
+    vsid_wraps = after.vsid_wraps - before.vsid_wraps }
 
 (* Every counter as (name, value), in declaration order.  The
    exhaustiveness test checks this list against the record's arity, so a
@@ -195,7 +225,13 @@ let fields t =
     ("zombies_reclaimed", t.zombies_reclaimed);
     ("pages_cleared_idle", t.pages_cleared_idle);
     ("prezeroed_hits", t.prezeroed_hits);
-    ("get_free_page_calls", t.get_free_page_calls) ]
+    ("get_free_page_calls", t.get_free_page_calls);
+    ("ipis_sent", t.ipis_sent);
+    ("tlb_shootdowns", t.tlb_shootdowns);
+    ("shootdowns_deferred", t.shootdowns_deferred);
+    ("remote_tlb_invalidates", t.remote_tlb_invalidates);
+    ("work_steals", t.work_steals);
+    ("vsid_wraps", t.vsid_wraps) ]
 
 let tlb_misses t = t.itlb_misses + t.dtlb_misses
 let tlb_lookups t = t.itlb_lookups + t.dtlb_lookups
@@ -235,4 +271,10 @@ let pp fmt t =
   field "pages_cleared_idle" t.pages_cleared_idle;
   field "prezeroed_hits" t.prezeroed_hits;
   field "get_free_page_calls" t.get_free_page_calls;
+  field "ipis_sent" t.ipis_sent;
+  field "tlb_shootdowns" t.tlb_shootdowns;
+  field "shootdowns_deferred" t.shootdowns_deferred;
+  field "remote_tlb_invalidates" t.remote_tlb_invalidates;
+  field "work_steals" t.work_steals;
+  field "vsid_wraps" t.vsid_wraps;
   Format.fprintf fmt "@]"

@@ -44,6 +44,16 @@ type t = {
   mutable pages_cleared_idle : int;
   mutable prezeroed_hits : int;    (** get_free_page served pre-zeroed *)
   mutable get_free_page_calls : int;
+  (* SMP: shootdowns, IPIs, load balancing *)
+  mutable ipis_sent : int;         (** IPIs sent by shootdown initiators *)
+  mutable tlb_shootdowns : int;    (** remote shootdown rounds issued *)
+  mutable shootdowns_deferred : int;(** remote invalidations elided because
+                                       lazy flushing retired the VSID *)
+  mutable remote_tlb_invalidates : int; (** invalidates run in remote
+                                            IPI handlers *)
+  mutable work_steals : int;       (** runnable tasks migrated by idle CPUs *)
+  mutable vsid_wraps : int;        (** 20-bit context-counter wraps (§7
+                                       escape hatch firings) *)
 }
 
 val create : unit -> t

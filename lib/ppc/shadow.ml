@@ -42,6 +42,7 @@ type flush_event = {
 
 type divergence = {
   d_check : int;
+  d_cpu : int;
   d_pid : int;
   d_vsid : int;
   d_ea : int;
@@ -83,7 +84,7 @@ let note_flush t ~what ~vsid ~ea =
        l
      end)
 
-let check t ~pid ~vsid ~ea ~kind ~fast ~reference =
+let check t ~cpu ~pid ~vsid ~ea ~kind ~fast ~reference =
   t.sh_checks <- t.sh_checks + 1;
   if not (agree fast reference) then begin
     t.sh_total_divergences <- t.sh_total_divergences + 1;
@@ -91,6 +92,7 @@ let check t ~pid ~vsid ~ea ~kind ~fast ~reference =
       t.sh_kept <- t.sh_kept + 1;
       t.sh_divergences_rev <-
         { d_check = t.sh_checks;
+          d_cpu = cpu;
           d_pid = pid;
           d_vsid = vsid;
           d_ea = ea;
@@ -118,8 +120,8 @@ let report d =
   let b = Buffer.create 256 in
   Buffer.add_string b
     (Printf.sprintf
-       "shadow divergence (check #%d): %s ea=0x%08x pid=%d vsid=0x%x\n"
-       d.d_check (kind_name d.d_kind) d.d_ea d.d_pid d.d_vsid);
+       "shadow divergence (check #%d): %s ea=0x%08x cpu=%d pid=%d vsid=0x%x\n"
+       d.d_check (kind_name d.d_kind) d.d_ea d.d_cpu d.d_pid d.d_vsid);
   Buffer.add_string b
     (Printf.sprintf "  fast path: %s\n" (outcome_string d.d_fast));
   Buffer.add_string b

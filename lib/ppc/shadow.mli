@@ -66,6 +66,7 @@ type flush_event = {
 
 type divergence = {
   d_check : int;  (** ordinal of the cross-check that caught it *)
+  d_cpu : int;    (** CPU whose fast path produced the answer *)
   d_pid : int;
   d_vsid : int;
   d_ea : int;
@@ -81,6 +82,7 @@ val create : unit -> t
 
 val check :
   t ->
+  cpu:int ->
   pid:int ->
   vsid:int ->
   ea:int ->
@@ -90,7 +92,10 @@ val check :
   unit
 (** Count one cross-check; record a divergence when the outcomes
     disagree.  The first {!max_kept} divergences are retained in full;
-    later ones only increment {!total_divergences}. *)
+    later ones only increment {!total_divergences}.  [cpu] tags the
+    divergence with the CPU whose TLB answered — on an SMP model a
+    stale {e remote} TLB entry surfaces as a divergence on the CPU that
+    kept it. *)
 
 val note_flush : t -> what:string -> vsid:int -> ea:int -> unit
 (** Remember a flush operation (bounded ring) so divergence reports can

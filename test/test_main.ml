@@ -31,6 +31,7 @@ let () =
       ("features", Test_features.suite);
       ("workloads", Test_workloads.suite);
       ("sched", Test_sched.suite);
+      ("smp", Test_smp.suite);
       ("core", Test_core.suite);
       ("harness", Test_harness.suite);
       ("tuning", Test_tuning.suite);

@@ -114,6 +114,104 @@ let test_multiplier_validation () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "non-positive multiplier must be rejected"
 
+(* --- the 20-bit context wrap (§7's escape hatch) --------------------- *)
+
+(* Churn through more contexts than the 20-bit space holds, keeping a
+   rolling window live: the counter must wrap (firing the escape hatch),
+   every issued id must be fresh VSID territory, and no two live
+   contexts may ever share a vsid0. *)
+let test_wrap_churn () =
+  let v = V.create ~source:V.Context_counter ~multiplier:V.scatter_multiplier in
+  let hatch = ref 0 in
+  V.set_on_wrap v (fun () -> incr hatch);
+  let window = Queue.create () in
+  let churn = V.ctx_space + 4096 in
+  for pid = 1 to churn do
+    let c = V.new_context v ~pid in
+    Queue.add c window;
+    if Queue.length window > 16 then V.retire_context v (Queue.pop window)
+  done;
+  Alcotest.(check bool) "wrapped at least once" true (V.wraps v >= 1);
+  Alcotest.(check int) "escape hatch fired per wrap" (V.wraps v) !hatch;
+  Alcotest.(check int) "window is the live set" (Queue.length window)
+    (V.live_contexts v);
+  (* no two live contexts share a vsid0 *)
+  let seen = Hashtbl.create 32 in
+  Queue.iter
+    (fun c ->
+      let v0 = V.vsid v ~ctx:c ~sr:0 in
+      Alcotest.(check bool) "live vsid0s distinct" false (Hashtbl.mem seen v0);
+      Hashtbl.replace seen v0 ())
+    window
+
+(* A wrapped counter must skip ids whose VSIDs are still live. *)
+let test_wrap_skips_live () =
+  let v = V.create ~source:V.Context_counter ~multiplier:1 in
+  let c1 = V.new_context v ~pid:1 in
+  Alcotest.(check int) "first id" 1 c1;
+  V.unsafe_set_next v (V.ctx_space - 1);
+  let tail = V.new_context v ~pid:2 in
+  Alcotest.(check int) "last pre-wrap id" (V.ctx_space - 1) tail;
+  Alcotest.(check int) "wrap happened" 1 (V.wraps v);
+  (* ctx 1 is still live: the first post-wrap allocation must skip it *)
+  let c2 = V.new_context v ~pid:3 in
+  Alcotest.(check int) "live id skipped on reissue" 2 c2;
+  Alcotest.(check bool) "original still live" true
+    (V.is_live v (V.vsid v ~ctx:c1 ~sr:0));
+  Alcotest.(check int) "three live contexts" 3 (V.live_contexts v)
+
+(* The pre-fix counter (test-only plant): ctx and ctx + 2^20 silently
+   share every VSID, so retiring one zombifies the other — the aliasing
+   bug, observable at the allocator level. *)
+let test_prefix_aliasing_plant () =
+  V.test_unsafe_no_wrap := true;
+  Fun.protect
+    ~finally:(fun () -> V.test_unsafe_no_wrap := false)
+    (fun () ->
+      let v = V.create ~source:V.Context_counter ~multiplier:1 in
+      let c1 = V.new_context v ~pid:1 in
+      V.unsafe_set_next v (V.ctx_space + 1);
+      let c2 = V.new_context v ~pid:2 in
+      Alcotest.(check bool) "distinct ids" true (c1 <> c2);
+      Alcotest.(check int) "but aliased vsid0s"
+        (V.vsid v ~ctx:c1 ~sr:0)
+        (V.vsid v ~ctx:c2 ~sr:0);
+      (* the exactness assert in live_contexts catches the under-count *)
+      (match V.live_contexts v with
+      | exception Assert_failure _ -> ()
+      | n -> Alcotest.failf "alias slipped past live_contexts: %d" n);
+      (* retiring one resurrects nothing for the other: its VSIDs die *)
+      V.retire_context v c1;
+      Alcotest.(check bool) "alias victim's vsid is zombie" true
+        (V.is_zombie v (V.vsid v ~ctx:c2 ~sr:0)))
+
+(* Pid_based ids whose munge lands in the kernel VSID block must be
+   remapped, not issued. *)
+let test_pid_kernel_collision_remapped () =
+  let v = V.create ~source:V.Pid_based ~multiplier:1 in
+  (* pids 0xF0000..0xF000F munge straight into the kernel window *)
+  let c = V.new_context v ~pid:0xF0005 in
+  Alcotest.(check bool) "collision remapped" true (c <> 0xF0005);
+  for sr = 0 to 15 do
+    Alcotest.(check bool) "no segment is a kernel vsid" false
+      (V.is_kernel (V.vsid v ~ctx:c ~sr))
+  done;
+  (* re-requesting the same pid reuses its remapped id *)
+  let c' = V.new_context v ~pid:0xF0005 in
+  Alcotest.(check int) "same pid, same id" c c'
+
+(* Even multipliers are not bijections mod 2^20: two pids can munge to
+   the same vsid0 before any wrap.  The allocator must give the second
+   one fresh VSIDs and count both exactly. *)
+let test_pid_even_mult_alias_skipped () =
+  let v = V.create ~source:V.Pid_based ~multiplier:16 in
+  let c1 = V.new_context v ~pid:1 in
+  (* 65537 * 16 = 1 * 16 (mod 2^20): same vsid0 as pid 1 *)
+  let c2 = V.new_context v ~pid:65537 in
+  Alcotest.(check bool) "aliasing pid remapped" true
+    (V.vsid v ~ctx:c1 ~sr:0 <> V.vsid v ~ctx:c2 ~sr:0);
+  Alcotest.(check int) "exactly two live contexts" 2 (V.live_contexts v)
+
 let suite =
   [ Alcotest.test_case "pid based" `Quick test_pid_based;
     Alcotest.test_case "counter monotonic" `Quick test_counter_monotonic;
@@ -128,4 +226,12 @@ let suite =
       test_scatter_beats_naive;
     Alcotest.test_case "multiplier validation" `Quick
       test_multiplier_validation;
+    Alcotest.test_case "wrap churn > 2^20 (§7)" `Slow test_wrap_churn;
+    Alcotest.test_case "wrap skips live ids" `Quick test_wrap_skips_live;
+    Alcotest.test_case "pre-fix aliasing plant" `Quick
+      test_prefix_aliasing_plant;
+    Alcotest.test_case "pid kernel collision remapped" `Quick
+      test_pid_kernel_collision_remapped;
+    Alcotest.test_case "pid even-mult alias skipped" `Quick
+      test_pid_even_mult_alias_skipped;
     QCheck_alcotest.to_alcotest prop_vsid_liveness_consistent ]
