@@ -676,9 +676,10 @@ let e16 ?(seed = 42) () =
    workload across MMU configurations.  The latency histograms are the
    workload's own (always on), so these tables are byte-identical with
    and without span recording; percentiles use the integer Hist.percentile
-   for the same reason.  (The issue sketch numbered these E15-E17, but
-   those ids were already taken by the htab sizing and replacement-policy
-   experiments, so the server suite is E17-E19.) *)
+   for the same reason.  (These were once drafted as E15-E17 — ids the
+   htab sizing and replacement-policy experiments already owned, which
+   is exactly the collision [check_unique] now rejects at registration
+   time; the server suite registered as E17-E19 instead.) *)
 
 let server_configs =
   [ ("baseline", Policy.baseline);
@@ -1192,6 +1193,28 @@ let diagnostics =
       "diagnostic"
       "the two-CPU shared-mm sequence a skipped TLB shootdown corrupts; \
        the SMP shadow-checker smoke workload" d2 ]
+
+(* Ids are the join key for baselines, CLI selection and results
+   documents, and lookup is case-insensitive — a colliding id would
+   silently shadow one experiment behind another (the drift the E17-E19
+   renumbering above narrowly avoided by hand).  Refuse duplicates the
+   moment the registry loads instead. *)
+let check_unique specs =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      let key = String.uppercase_ascii s.id in
+      match Hashtbl.find_opt seen key with
+      | Some other ->
+          invalid_arg
+            (Printf.sprintf
+               "Experiments: duplicate experiment id %S (case-insensitively \
+                collides with %S); ids must be unique"
+               s.id other)
+      | None -> Hashtbl.add seen key s.id)
+    specs
+
+let () = check_unique (registry @ diagnostics)
 
 let find id =
   List.find_opt

@@ -143,6 +143,13 @@ val diagnostics : spec list
 (** Diagnostic workloads ({!d1}): runnable by name, excluded from
     default sweeps so results documents and baselines are unchanged. *)
 
+val check_unique : spec list -> unit
+(** Reject duplicate experiment ids (case-insensitively, since {!find}
+    is case-insensitive).  Runs over [registry @ diagnostics] at module
+    load, so a drafting slip like the historical E15-E17 double-booking
+    fails the build instead of silently shadowing an experiment.
+    @raise Invalid_argument naming both colliding ids. *)
+
 val find : string -> spec option
 (** Look up by id, case-insensitively, in {!registry} then
     {!diagnostics}. *)

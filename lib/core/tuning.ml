@@ -39,9 +39,50 @@ let score_multiplier ?(machine = Machine.ppc604_185) ?(procs = 20)
         ~capacity:snap.System.htab_capacity;
     hit_rate = Metrics.htab_hit_rate perf }
 
-let sweep ?machine ?procs ?pages ?seed candidates =
+(* The sweep is the first client of the generic tuner fan-out: each
+   candidate multiplier is one supervised task (parallel under ?jobs,
+   results independent of the job count), and the score crosses back as
+   a JSON payload instead of dying with a forked worker. *)
+
+let score_json s =
+  Json.Obj
+    [ ("multiplier", Json.Int s.multiplier);
+      ("full_ptegs", Json.Int s.full_ptegs);
+      ("evictions", Json.Int s.evictions);
+      ("occupancy_pct", Json.Float s.occupancy_pct);
+      ("hit_rate", Json.Float s.hit_rate) ]
+
+let score_of_json j =
+  let int k = Option.bind (Json.member k j) Json.to_int_opt in
+  let flt k = Option.bind (Json.member k j) Json.to_float_opt in
+  match
+    ( int "multiplier", int "full_ptegs", int "evictions",
+      flt "occupancy_pct", flt "hit_rate" )
+  with
+  | Some multiplier, Some full_ptegs, Some evictions, Some occupancy_pct,
+    Some hit_rate ->
+      Some { multiplier; full_ptegs; evictions; occupancy_pct; hit_rate }
+  | _ -> None
+
+let sweep ?machine ?procs ?pages ?seed ?jobs candidates =
+  let tasks =
+    List.map
+      (fun m ->
+        ( "vsid-mult-" ^ string_of_int m,
+          fun ?seed:(_ : int option) () ->
+            score_json (score_multiplier ?machine ?procs ?pages ?seed m) ))
+      candidates
+  in
   let scores =
-    List.map (score_multiplier ?machine ?procs ?pages ?seed) candidates
+    List.map
+      (fun (id, r) ->
+        match r with
+        | Ok j -> (
+            match score_of_json j with
+            | Some s -> s
+            | None -> failwith (id ^ ": undecodable sweep payload"))
+        | Error e -> failwith (id ^ ": " ^ e))
+      (Tuner.fan_out ?jobs tasks)
   in
   List.sort
     (fun a b ->

@@ -36,10 +36,13 @@ val sweep :
   ?procs:int ->
   ?pages:int ->
   ?seed:int ->
+  ?jobs:int ->
   int list ->
   score list
 (** Score each candidate, returned best (fewest full PTEGs, then fewest
-    evictions) first. *)
+    evictions) first.  Candidates run as supervised {!Tuner.fan_out}
+    tasks: [jobs > 1] forks workers, and the ranking is identical
+    regardless of the job count. *)
 
 val default_candidates : int list
 (** The constants someone would plausibly try: small primes and odd

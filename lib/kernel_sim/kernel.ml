@@ -110,6 +110,15 @@ let boot_cpus () = !boot_cpus_default
 
 let smp_registered_rev : t list ref = ref []
 
+(* [experiment] wants the SMP counters of every kernel the registry
+   boots even at one CPU (the baseline document carries the smp object
+   at [--cpus 1]); tests and benches boot thousands of kernels and must
+   not accumulate them.  So registration at [cpus = 1] is opt-in,
+   process-wide, like the other boot defaults. *)
+let smp_register_always = ref false
+
+let set_smp_register b = smp_register_always := b
+
 let drain_smp_registered () =
   let l = List.rev !smp_registered_rev in
   smp_registered_rev := [];
@@ -164,7 +173,8 @@ let boot ~machine ~policy ?(seed = 42) ?shadow ?cpus () =
       k_vsid = vsid;
       k_pagepool =
         Pagepool.create ~physmem ~memsys ~clearing:policy.Policy.idle_clearing
-          ~use_list:policy.Policy.idle_clear_list ();
+          ~use_list:policy.Policy.idle_clear_list
+          ~list_limit:policy.Policy.prezero_list_limit ();
       k_vfs = Vfs.create ~physmem;
       k_rng = rng;
       kernel_pt;
@@ -265,7 +275,8 @@ let boot ~machine ~policy ?(seed = 42) ?shadow ?cpus () =
       | None -> ()
       | Some h ->
           ignore (Mmu.reclaim_zombies mmu ~max_ptes:(Htab.capacity h) : int));
-  if cpus > 1 then smp_registered_rev := t :: !smp_registered_rev;
+  if cpus > 1 || !smp_register_always then
+    smp_registered_rev := t :: !smp_registered_rev;
   t
 
 (* --- kernel path execution ------------------------------------------- *)
@@ -392,11 +403,30 @@ let flush_page_mm t ~mm ~targets pea =
   Mmu.flush_page_for_vsid t.k_mmu ~vsid pea;
   if targets <> 0 then Mmu.shootdown_page t.k_mmu ~vsid ~targets pea
 
+(* Precise flush of one range with the shootdowns batched: flush every
+   page locally while collecting the (vsid, ea) pairs, then one IPI
+   round covers the whole range on each remote CPU.  The legacy
+   round-per-page behavior stays available as the [shootdown_batch]
+   policy knob (off), so the tuner can price the difference.  At
+   [targets = 0] — always, at one CPU — both paths charge byte-identical
+   costs. *)
+let precise_flush_pages t ~mm ~targets ~each =
+  if targets <> 0 && t.k_policy.Policy.shootdown_batch then begin
+    let flushed = ref [] in
+    each (fun pea ->
+        let vsid = vsid_of_ea t ~mm pea in
+        Mmu.flush_page_for_vsid t.k_mmu ~vsid pea;
+        flushed := (vsid, pea) :: !flushed);
+    Mmu.shootdown_range t.k_mmu ~targets (List.rev !flushed)
+  end
+  else each (fun pea -> flush_page_mm t ~mm ~targets pea)
+
 let precise_flush_range t ~mm ~ea ~pages =
   let targets = remote_targets t mm in
-  for i = 0 to pages - 1 do
-    flush_page_mm t ~mm ~targets (ea + (i lsl Addr.page_shift))
-  done
+  precise_flush_pages t ~mm ~targets ~each:(fun flush ->
+      for i = 0 to pages - 1 do
+        flush (ea + (i lsl Addr.page_shift))
+      done)
 
 let flush_range t ~mm ~ea ~pages =
   match t.k_policy.Policy.flush_cutoff with
@@ -408,8 +438,8 @@ let flush_whole_mm t ~mm =
   if lazy_flush_available t then context_reset t ~mm
   else begin
     let targets = remote_targets t mm in
-    Pagetable.iter (Mm.pagetable mm) (fun ea _entry ->
-        flush_page_mm t ~mm ~targets ea)
+    precise_flush_pages t ~mm ~targets ~each:(fun flush ->
+        Pagetable.iter (Mm.pagetable mm) (fun ea _entry -> flush ea))
   end
 
 (* --- processes -------------------------------------------------------- *)
@@ -576,11 +606,11 @@ let () = tick_hook := maybe_tick
 (* --- idle task -------------------------------------------------------- *)
 
 (* One turn around the idle loop.  The loop itself polls the scheduler
-   (a few dozen instructions); every [idle_reclaim_interval]-th turn
-   scans a chunk of the htab for zombie PTEs (§7) — throttled so a sweep
-   of the whole table takes many idle windows, as a background scavenger
-   should — and otherwise one free page is cleared if clearing is
-   configured (§9). *)
+   (a few dozen instructions); every [reclaim_interval]-th turn scans a
+   chunk of the htab for zombie PTEs (§7) — the policy sets the cadence
+   and chunk, throttled so a sweep of the whole table takes many idle
+   windows, as a background scavenger should — and otherwise one free
+   page is cleared if clearing is configured (§9). *)
 let idle_slice t =
   maybe_tick t;
   Memsys.set_idle t.k_memsys true;
@@ -590,10 +620,12 @@ let idle_slice t =
   t.idle_count <- t.idle_count + 1;
   if
     t.k_policy.Policy.idle_zombie_reclaim
-    && t.idle_count mod Kparams.idle_reclaim_interval = 0
+    && t.idle_count mod t.k_policy.Policy.reclaim_interval = 0
   then
     ignore
-      (Mmu.reclaim_zombies t.k_mmu ~max_ptes:Kparams.idle_reclaim_chunk : int)
+      (Mmu.reclaim_zombies t.k_mmu
+         ~max_ptes:t.k_policy.Policy.reclaim_chunk
+        : int)
   else ignore (Pagepool.idle_clear_one t.k_pagepool : bool);
   if t.k_policy.Policy.idle_cache_lock then
     Memsys.set_cache_locked t.k_memsys false;

@@ -55,9 +55,17 @@ val set_boot_cpus : int -> unit
 val boot_cpus : unit -> int
 (** The current boot default. *)
 
+val set_smp_register : bool -> unit
+(** Arm (or disarm) SMP registration for single-CPU boots too: with this
+    on, {e every} subsequent boot registers for
+    {!drain_smp_registered} — the hook [experiment] uses so the SMP
+    observability object rides the baseline document even at
+    [--cpus 1].  Off (the default), only [cpus > 1] boots register. *)
+
 val drain_smp_registered : unit -> t list
-(** Kernels booted with [cpus > 1] since the last drain, in boot order —
-    the driver reads their shootdown/steal counters after a run. *)
+(** Kernels booted with [cpus > 1] (or any count, under
+    {!set_smp_register}) since the last drain, in boot order — the
+    driver reads their shootdown/steal counters after a run. *)
 
 (** {1 Accessors} *)
 

@@ -58,8 +58,6 @@ let timer_tick_cycles = 1_330_000
 let tick_fast = 180
 let tick_slow = 1400
 let tick_slow_stack_refs = 32
-let idle_reclaim_chunk = 64
-let idle_reclaim_interval = 16
 let clear_page_instr = 64
 let vsid_wrap_instr = 200
 let steal_instr = 120

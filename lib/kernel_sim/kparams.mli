@@ -142,13 +142,6 @@ val tick_slow : int
 
 val tick_slow_stack_refs : int
 
-val idle_reclaim_chunk : int
-(** htab slots scanned per reclaim turn when zombie reclaim is on. *)
-
-val idle_reclaim_interval : int
-(** Reclaim runs every this-many idle-loop turns, so the scavenger's
-    cache footprint stays background-sized. *)
-
 val clear_page_instr : int
 (** Loop overhead for clearing one 4 KB page (on top of the line
     stores). *)

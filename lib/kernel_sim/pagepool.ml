@@ -10,7 +10,7 @@ type t = {
   mutable prezeroed_len : int;
 }
 
-let create ~physmem ~memsys ~clearing ~use_list ?(list_limit = 64) () =
+let create ~physmem ~memsys ~clearing ~use_list ~list_limit () =
   { physmem;
     memsys;
     clearing;

@@ -22,10 +22,12 @@ val create :
   memsys:Ppc.Memsys.t ->
   clearing:Policy.idle_clearing ->
   use_list:bool ->
-  ?list_limit:int ->
+  list_limit:int ->
   unit ->
   t
-(** [list_limit] caps the pre-zeroed list (default 64 pages). *)
+(** [list_limit] caps the pre-zeroed list ({!Policy.t}'s
+    [prezero_list_limit] supplies it — there is deliberately no default
+    here, so the policy layer owns the constant). *)
 
 val get_page : t -> int option
 (** A frame with undefined contents (page-cache use); never consults the

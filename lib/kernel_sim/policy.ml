@@ -14,16 +14,27 @@ type t = {
   lazy_flush : bool;
   flush_cutoff : int option;
   idle_zombie_reclaim : bool;
+  reclaim_interval : int;
+  reclaim_chunk : int;
   idle_clearing : idle_clearing;
   idle_clear_list : bool;
+  prezero_list_limit : int;
   cache_inhibit_pagetables : bool;
   bat_framebuffer : bool;
   idle_cache_lock : bool;
   cache_preload : bool;
   htab_replacement : [ `Arbitrary | `Second_chance | `Zombie_aware ];
+  tlb_replacement : Ppc.Tlb.replacement;
+  shootdown_batch : bool;
 }
 
 let flush_cutoff_pages = 20
+
+(* The zombie-reclaim cadence and pre-zero list depth the paper's idle
+   task settled on (previously hardcoded in [Kparams] and [Pagepool]). *)
+let reclaim_interval_slices = 16
+let reclaim_chunk_ptes = 64
+let prezero_list_pages = 64
 
 let baseline =
   { bat_kernel_mapping = false;
@@ -36,13 +47,18 @@ let baseline =
     lazy_flush = false;
     flush_cutoff = None;
     idle_zombie_reclaim = false;
+    reclaim_interval = reclaim_interval_slices;
+    reclaim_chunk = reclaim_chunk_ptes;
     idle_clearing = Clear_off;
     idle_clear_list = false;
+    prezero_list_limit = prezero_list_pages;
     cache_inhibit_pagetables = false;
     bat_framebuffer = false;
     idle_cache_lock = false;
     cache_preload = false;
-    htab_replacement = `Arbitrary }
+    htab_replacement = `Arbitrary;
+    tlb_replacement = Ppc.Tlb.Lru;
+    shootdown_batch = true }
 
 let optimized =
   { bat_kernel_mapping = true;
@@ -55,19 +71,25 @@ let optimized =
     lazy_flush = true;
     flush_cutoff = Some flush_cutoff_pages;
     idle_zombie_reclaim = true;
+    reclaim_interval = reclaim_interval_slices;
+    reclaim_chunk = reclaim_chunk_ptes;
     idle_clearing = Clear_uncached;
     idle_clear_list = true;
+    prezero_list_limit = prezero_list_pages;
     cache_inhibit_pagetables = false;
     bat_framebuffer = false;
     idle_cache_lock = false;
     cache_preload = false;
-    htab_replacement = `Arbitrary }
+    htab_replacement = `Arbitrary;
+    tlb_replacement = Ppc.Tlb.Lru;
+    shootdown_batch = true }
 
 let mmu_knobs t =
   { Ppc.Mmu.use_htab = t.use_htab;
     fast_reload = t.fast_reload;
     cache_inhibit_pagetables = t.cache_inhibit_pagetables;
-    htab_replacement = t.htab_replacement }
+    htab_replacement = t.htab_replacement;
+    tlb_replacement = t.tlb_replacement }
 
 let describe t =
   let flag name b = if b then [ name ] else [] in
@@ -86,11 +108,20 @@ let describe t =
       | None -> []
       | Some n -> [ Printf.sprintf "cutoff=%d" n ])
     @ flag "reclaim" t.idle_zombie_reclaim
+    @ (if t.reclaim_interval <> reclaim_interval_slices then
+         [ Printf.sprintf "reclaim-every=%d" t.reclaim_interval ]
+       else [])
+    @ (if t.reclaim_chunk <> reclaim_chunk_ptes then
+         [ Printf.sprintf "reclaim-chunk=%d" t.reclaim_chunk ]
+       else [])
     @ (match t.idle_clearing with
       | Clear_off -> []
       | Clear_cached -> [ "clear-cached" ]
       | Clear_uncached -> [ "clear-uncached" ])
     @ flag "clear-list" t.idle_clear_list
+    @ (if t.prezero_list_limit <> prezero_list_pages then
+         [ Printf.sprintf "prezero-limit=%d" t.prezero_list_limit ]
+       else [])
     @ flag "pt-uncached" t.cache_inhibit_pagetables
     @ flag "fb-bat" t.bat_framebuffer
     @ flag "idle-lock" t.idle_cache_lock
@@ -99,5 +130,10 @@ let describe t =
       | `Arbitrary -> []
       | `Second_chance -> [ "htab-2nd-chance" ]
       | `Zombie_aware -> [ "htab-zombie-aware" ])
+    @ (match t.tlb_replacement with
+      | Ppc.Tlb.Lru -> []
+      | Ppc.Tlb.Fifo -> [ "tlb-fifo" ]
+      | Ppc.Tlb.Rand -> [ "tlb-random" ])
+    @ (if t.shootdown_batch then [] else [ "per-page-shootdown" ])
   in
   String.concat "," parts

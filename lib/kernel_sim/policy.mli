@@ -39,10 +39,18 @@ type t = {
           The paper settled on 20 pages. *)
   idle_zombie_reclaim : bool;
       (** §7: idle task scans the htab invalidating zombie PTEs. *)
+  reclaim_interval : int;
+      (** §7: run a reclaim scan every this-many idle slices (the paper's
+          cadence is every 16th slice). *)
+  reclaim_chunk : int;
+      (** §7: htab slots examined per reclaim scan (64). *)
   idle_clearing : idle_clearing;
   idle_clear_list : bool;
       (** §9: hand idle-cleared pages to [get_free_page] via the
           pre-zeroed list. *)
+  prezero_list_limit : int;
+      (** §9: cap on the pre-zeroed list depth — idle stops clearing once
+          this many pages are banked (64). *)
   cache_inhibit_pagetables : bool;
       (** §8: keep page-table and htab references out of the data
           cache. *)
@@ -60,6 +68,13 @@ type t = {
       (** ablations around §7's replacement discussion: the paper's
           arbitrary victim, R-bit second chance, or the rejected design
           that checks VSID liveness during the reload itself. *)
+  tlb_replacement : Ppc.Tlb.replacement;
+      (** TLB victim selection: {!Ppc.Tlb.Lru} is the 603/604 hardware;
+          FIFO and random are ablations for the tuner. *)
+  shootdown_batch : bool;
+      (** SMP: batch a precise range flush's cross-CPU shootdowns into
+          one IPI round per remote CPU (true) versus the legacy round
+          per page (false).  No effect at one CPU. *)
 }
 
 val baseline : t
@@ -76,6 +91,15 @@ val optimized : t
 
 val flush_cutoff_pages : int
 (** 20 — the tuned cutoff. *)
+
+val reclaim_interval_slices : int
+(** 16 — reclaim every 16th idle slice. *)
+
+val reclaim_chunk_ptes : int
+(** 64 — htab slots per reclaim scan. *)
+
+val prezero_list_pages : int
+(** 64 — pre-zeroed list depth cap. *)
 
 val mmu_knobs : t -> Ppc.Mmu.knobs
 (** The subset of the policy the MMU consumes. *)

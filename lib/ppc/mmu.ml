@@ -3,13 +3,15 @@ type knobs = {
   fast_reload : bool;
   cache_inhibit_pagetables : bool;
   htab_replacement : [ `Arbitrary | `Second_chance | `Zombie_aware ];
+  tlb_replacement : Tlb.replacement;
 }
 
 let default_knobs =
   { use_htab = true;
     fast_reload = true;
     cache_inhibit_pagetables = false;
-    htab_replacement = `Arbitrary }
+    htab_replacement = `Arbitrary;
+    tlb_replacement = Tlb.Lru }
 
 type walk_result =
   | Mapped of {
@@ -178,7 +180,8 @@ let create ?(htab_base_pa = 0x0030_0000) ?(cpus = 1) ~machine ~memsys ~knobs
      what the selected backend actually does. *)
   let knobs = { knobs with use_htab = Reload_engine.uses_htab engine } in
   let tlb_of (g : Machine.tlb_geometry) =
-    Tlb.create ~sets:g.Machine.tlb_sets ~ways:g.Machine.tlb_ways
+    Tlb.create ~replacement:knobs.tlb_replacement ~sets:g.Machine.tlb_sets
+      ~ways:g.Machine.tlb_ways ()
   in
   let segs = Array.init cpus (fun _ -> Segment.create ()) in
   let ibats = Array.init cpus (fun _ -> Bat.create ()) in
@@ -665,6 +668,47 @@ let shootdown_page t ~vsid ~targets ea =
       end
     done;
     note_flush t ~what:"shootdown-page" ~vsid ~ea
+  end
+
+(* Batched shootdown for a whole precise-flush range: one IPI round
+   covers every page in [pages] (a list of (vsid, ea) pairs, so ranges
+   crossing a segment boundary still work).  Each remote CPU pays the
+   IPI send / handler / ack-wait costs once and a [tlbie] per page,
+   instead of a full round per page as [shootdown_page] charges.
+   Counter shape: one [tlb_shootdowns] round, [ipis_sent] once per
+   remote CPU, a [remote_tlb_invalidates] per (cpu, page), and
+   [shootdown_batch_pages] counts the pages the round covered. *)
+let shootdown_range t ~targets pages =
+  if targets <> 0 && pages <> [] then begin
+    let p = perf t in
+    p.Perf.tlb_shootdowns <- p.Perf.tlb_shootdowns + 1;
+    p.Perf.shootdown_batch_pages <-
+      p.Perf.shootdown_batch_pages + List.length pages;
+    (* test-only stale-remote-TLB injection: costs still charged *)
+    let skip = !test_skip_shootdowns <> 0 in
+    if !test_skip_shootdowns > 0 then decr test_skip_shootdowns;
+    for cpu = 0 to t.n_cpus - 1 do
+      if targets land (1 lsl cpu) <> 0 then begin
+        p.Perf.ipis_sent <- p.Perf.ipis_sent + 1;
+        Memsys.stall t.memsys Cost.ipi_send_cycles;
+        Memsys.instructions t.memsys Cost.ipi_handler_instr;
+        List.iter
+          (fun (vsid, ea) ->
+            let vpn = Addr.vpn_of ~vsid ~ea in
+            Memsys.stall t.memsys tlbie_cycles;
+            if not skip then begin
+              Tlb.invalidate_page t.itlbs.(cpu) vpn;
+              Tlb.invalidate_page t.dtlbs.(cpu) vpn
+            end;
+            p.Perf.remote_tlb_invalidates <-
+              p.Perf.remote_tlb_invalidates + 1)
+          pages;
+        Memsys.stall t.memsys Cost.ipi_ack_wait_cycles
+      end
+    done;
+    List.iter
+      (fun (vsid, ea) -> note_flush t ~what:"shootdown-range" ~vsid ~ea)
+      pages
   end
 
 (* Invalidate every TLB on every CPU — the §7 escape hatch the VSID

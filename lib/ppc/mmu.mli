@@ -49,11 +49,14 @@ type knobs = {
           choice, R-bit second chance, or the rejected design that
           checks VSID liveness in the reload path ([`Zombie_aware],
           which also pays {!Cost.zombie_check_instr} per eviction). *)
+  tlb_replacement : Tlb.replacement;
+      (** victim selection on TLB set overflow; {!Tlb.Lru} is the
+          hardware's behavior, the alternatives are policy ablations. *)
 }
 
 val default_knobs : knobs
-(** htab in use, fast handlers, cacheable page tables, arbitrary
-    replacement. *)
+(** htab in use, fast handlers, cacheable page tables, arbitrary htab
+    replacement, LRU TLB replacement. *)
 
 (** Result of the kernel's page-table walk for one effective address.
     [pt_refs] are the physical addresses of the page-table entries the
@@ -207,6 +210,17 @@ val shootdown_page : t -> vsid:int -> targets:int -> Addr.ea -> unit
     [targets = 0] is a complete no-op, so single-CPU runs never pay
     anything here.  Counts [tlb_shootdowns], [ipis_sent] and
     [remote_tlb_invalidates]. *)
+
+val shootdown_range : t -> targets:int -> (int * Addr.ea) list -> unit
+(** Batched cross-CPU shootdown for a whole precise-flush range: one IPI
+    round covers every [(vsid, ea)] page in the list.  Each remote CPU in
+    the [targets] bitmask charges {!Cost.ipi_send_cycles}, one
+    {!Cost.ipi_handler_instr}, a [tlbie] per page, and one
+    {!Cost.ipi_ack_wait_cycles} — versus a full round {e per page} under
+    {!shootdown_page}.  Counts one [tlb_shootdowns] round, [ipis_sent]
+    once per remote CPU, [remote_tlb_invalidates] per (cpu, page), and
+    adds the page count to [shootdown_batch_pages].  A zero [targets] or
+    empty list is a complete no-op. *)
 
 val invalidate_all_cpus : t -> unit
 (** Drop every TLB entry on {e every} CPU — the §7 escape hatch the VSID

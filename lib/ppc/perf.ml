@@ -33,6 +33,7 @@ type t = {
   mutable tlb_shootdowns : int;
   mutable shootdowns_deferred : int;
   mutable remote_tlb_invalidates : int;
+  mutable shootdown_batch_pages : int;
   mutable work_steals : int;
   mutable vsid_wraps : int;
 }
@@ -72,6 +73,7 @@ let create () =
     tlb_shootdowns = 0;
     shootdowns_deferred = 0;
     remote_tlb_invalidates = 0;
+    shootdown_batch_pages = 0;
     work_steals = 0;
     vsid_wraps = 0 }
 
@@ -110,6 +112,7 @@ let reset t =
   t.tlb_shootdowns <- 0;
   t.shootdowns_deferred <- 0;
   t.remote_tlb_invalidates <- 0;
+  t.shootdown_batch_pages <- 0;
   t.work_steals <- 0;
   t.vsid_wraps <- 0
 
@@ -148,6 +151,7 @@ let snapshot t =
     tlb_shootdowns = t.tlb_shootdowns;
     shootdowns_deferred = t.shootdowns_deferred;
     remote_tlb_invalidates = t.remote_tlb_invalidates;
+    shootdown_batch_pages = t.shootdown_batch_pages;
     work_steals = t.work_steals;
     vsid_wraps = t.vsid_wraps }
 
@@ -188,6 +192,8 @@ let diff ~after ~before =
     tlb_shootdowns = after.tlb_shootdowns - before.tlb_shootdowns;
     shootdowns_deferred = after.shootdowns_deferred - before.shootdowns_deferred;
     remote_tlb_invalidates = after.remote_tlb_invalidates - before.remote_tlb_invalidates;
+    shootdown_batch_pages =
+      after.shootdown_batch_pages - before.shootdown_batch_pages;
     work_steals = after.work_steals - before.work_steals;
     vsid_wraps = after.vsid_wraps - before.vsid_wraps }
 
@@ -230,6 +236,7 @@ let fields t =
     ("tlb_shootdowns", t.tlb_shootdowns);
     ("shootdowns_deferred", t.shootdowns_deferred);
     ("remote_tlb_invalidates", t.remote_tlb_invalidates);
+    ("shootdown_batch_pages", t.shootdown_batch_pages);
     ("work_steals", t.work_steals);
     ("vsid_wraps", t.vsid_wraps) ]
 
@@ -275,6 +282,7 @@ let pp fmt t =
   field "tlb_shootdowns" t.tlb_shootdowns;
   field "shootdowns_deferred" t.shootdowns_deferred;
   field "remote_tlb_invalidates" t.remote_tlb_invalidates;
+  field "shootdown_batch_pages" t.shootdown_batch_pages;
   field "work_steals" t.work_steals;
   field "vsid_wraps" t.vsid_wraps;
   Format.fprintf fmt "@]"

@@ -51,6 +51,9 @@ type t = {
                                        lazy flushing retired the VSID *)
   mutable remote_tlb_invalidates : int; (** invalidates run in remote
                                             IPI handlers *)
+  mutable shootdown_batch_pages : int; (** pages invalidated by batched
+                                           (one-IPI-per-range) shootdown
+                                           rounds *)
   mutable work_steals : int;       (** runnable tasks migrated by idle CPUs *)
   mutable vsid_wraps : int;        (** 20-bit context-counter wraps (§7
                                        escape hatch firings) *)

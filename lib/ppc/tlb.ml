@@ -5,6 +5,13 @@ type entry = {
   writable : bool;
 }
 
+type replacement = Lru | Fifo | Rand
+
+let replacement_name = function
+  | Lru -> "lru"
+  | Fifo -> "fifo"
+  | Rand -> "random"
+
 (* The store is four parallel flat int arrays rather than an
    [entry option array]: a VPN of -1 marks an invalid way (real VPNs are
    tag-encoded and never negative), [flags] packs the two booleans, and
@@ -20,12 +27,15 @@ type t = {
   flags : int array;   (* bit 0 = inhibited, bit 1 = writable *)
   stamps : int array;
   mutable tick : int;
+  repl : replacement;
+  lru_touch : bool;    (* = (repl = Lru), precomputed for the warm path *)
+  mutable rand_state : int;  (* xorshift state for [Rand] victim picks *)
 }
 
 let flag_inhibited = 1
 let flag_writable = 2
 
-let create ~sets ~ways =
+let create ?(replacement = Lru) ~sets ~ways () =
   if sets <= 0 || sets land (sets - 1) <> 0 then
     invalid_arg "Tlb.create: sets must be a positive power of two";
   if ways <= 0 then invalid_arg "Tlb.create: ways must be positive";
@@ -35,7 +45,12 @@ let create ~sets ~ways =
     rpns = Array.make (sets * ways) 0;
     flags = Array.make (sets * ways) 0;
     stamps = Array.make (sets * ways) 0;
-    tick = 0 }
+    tick = 0;
+    repl = replacement;
+    lru_touch = replacement = Lru;
+    rand_state = 0x2545F49 lxor (sets * ways) }
+
+let replacement t = t.repl
 
 let sets t = t.n_sets
 let ways t = t.n_ways
@@ -72,7 +87,7 @@ let[@inline always] find_slot t vpn =
 
 let lookup_slot t vpn =
   let i = find_slot t vpn in
-  if i >= 0 then begin
+  if i >= 0 && t.lru_touch then begin
     t.tick <- t.tick + 1;
     t.stamps.(i) <- t.tick
   end;
@@ -102,8 +117,35 @@ let rec victim_scan (vpns : int array) (stamps : int array) (vpn : int) base
     else victim_scan vpns stamps vpn base (w + 1) n victim lru lru_way
   end
 
+(* For [Rand]: the same-VPN / first-invalid preference, with no stamp
+   scan behind it. *)
+let rec pref_scan (vpns : int array) (vpn : int) base w n inv =
+  if w >= n then inv
+  else
+    let v = vpns.(base + w) in
+    if v = vpn then w
+    else if v < 0 && inv < 0 then pref_scan vpns vpn base (w + 1) n w
+    else pref_scan vpns vpn base (w + 1) n inv
+
+(* Deterministic per-TLB xorshift stream, seeded at [create]: random
+   replacement stays reproducible per boot. *)
+let next_rand t =
+  let s = t.rand_state in
+  let s = s lxor ((s lsl 13) land 0x3FFFFFFF) in
+  let s = s lxor (s lsr 17) in
+  let s = s lxor ((s lsl 5) land 0x3FFFFFFF) in
+  t.rand_state <- s;
+  s
+
 let victim_way t base vpn =
-  victim_scan t.vpns t.stamps vpn base 0 t.n_ways (-1) max_int 0
+  match t.repl with
+  | Lru | Fifo ->
+      (* stamps are bumped on every hit under LRU but only on insert
+         under FIFO, so one scan serves both orders *)
+      victim_scan t.vpns t.stamps vpn base 0 t.n_ways (-1) max_int 0
+  | Rand ->
+      let w = pref_scan t.vpns vpn base 0 t.n_ways (-1) in
+      if w >= 0 then w else next_rand t mod t.n_ways
 
 let insert_flat t ~vpn ~rpn ~inhibited ~writable =
   let base = set_of t vpn * t.n_ways in

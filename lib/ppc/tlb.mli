@@ -19,9 +19,24 @@ type entry = {
   writable : bool;
 }
 
-val create : sets:int -> ways:int -> t
-(** [create ~sets ~ways] builds an empty TLB.  [sets] must be a power of
-    two. *)
+(** Victim selection when a set is full.  The real 603/604 use LRU; the
+    alternatives exist so the replacement choice is a policy knob the
+    tuner can price rather than a hardwired decision. *)
+type replacement =
+  | Lru   (** least-recently-used: hits refresh a per-slot stamp *)
+  | Fifo  (** oldest insertion evicted; hits leave stamps untouched *)
+  | Rand  (** deterministic xorshift pick among the set's ways *)
+
+val replacement_name : replacement -> string
+(** ["lru"], ["fifo"], ["random"]. *)
+
+val create : ?replacement:replacement -> sets:int -> ways:int -> unit -> t
+(** [create ~sets ~ways ()] builds an empty TLB.  [sets] must be a power
+    of two.  [replacement] defaults to {!Lru}, the hardware's
+    behavior. *)
+
+val replacement : t -> replacement
+(** The victim-selection policy this TLB was created with. *)
 
 val sets : t -> int
 val ways : t -> int
@@ -31,7 +46,7 @@ val capacity : t -> int
 
 val lookup : t -> Addr.vpn -> entry option
 (** [lookup t vpn] searches the set selected by the low VPN bits and
-    refreshes LRU state on a hit. *)
+    refreshes LRU state on a hit (under {!Lru} replacement). *)
 
 val peek : t -> Addr.vpn -> entry option
 (** [peek t vpn] is [lookup] without the LRU side effect — for probing and

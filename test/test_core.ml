@@ -140,6 +140,44 @@ let test_experiments_registry () =
       "E12"; "E13"; "E14"; "E15"; "E16"; "E17"; "E18"; "E19"; "EX1"; "EX2";
       "EX4"; "EX5"; "EX6"; "EX7" ]
 
+(* the registration-time duplicate-id guard (the E15-E17 drafting slip) *)
+
+let fake_spec id : Experiments.spec =
+  { Experiments.id;
+    name = "fake " ^ id;
+    section = "test";
+    what = "fake";
+    run =
+      (fun ?seed:_ () ->
+        { Experiments.title = "t"; header = []; rows = []; notes = [] }) }
+
+let expect_duplicate name specs =
+  match Experiments.check_unique specs with
+  | () -> Alcotest.fail (name ^ ": expected Invalid_argument")
+  | exception Invalid_argument msg ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) (name ^ " names the duplicate") true
+        (contains msg "duplicate experiment id")
+
+let test_duplicate_ids_rejected () =
+  expect_duplicate "exact duplicate"
+    [ fake_spec "E1"; fake_spec "E2"; fake_spec "E1" ];
+  (* find is case-insensitive, so the guard must be too *)
+  expect_duplicate "case-insensitive duplicate"
+    [ fake_spec "e17"; fake_spec "E17" ]
+
+let test_registry_ids_unique () =
+  (* the live registry passes the guard it already ran at module load *)
+  Experiments.check_unique
+    (Experiments.registry @ Experiments.diagnostics);
+  Alcotest.(check pass) "registry + diagnostics unique" () ()
+
 let test_csv_export () =
   let t =
     { Experiments.title = "t";
@@ -217,6 +255,9 @@ let suite =
       test_experiments_registry;
     Alcotest.test_case "experiment structure (E13)" `Slow
       test_experiment_structure;
+    Alcotest.test_case "duplicate experiment ids rejected" `Quick
+      test_duplicate_ids_rejected;
+    Alcotest.test_case "registry ids unique" `Quick test_registry_ids_unique;
     Alcotest.test_case "csv export" `Quick test_csv_export;
     Alcotest.test_case "os model paper rows" `Quick test_os_model_paper_rows;
     Alcotest.test_case "os model measures" `Slow test_os_model_measures;

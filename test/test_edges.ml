@@ -34,7 +34,7 @@ let test_direct_mapped_cache () =
   Alcotest.(check bool) "second resident" true (Cache.contains c 1024)
 
 let test_single_way_tlb () =
-  let t = Tlb.create ~sets:1 ~ways:1 in
+  let t = Tlb.create ~sets:1 ~ways:1 () in
   Tlb.insert t { Tlb.vpn = 1; rpn = 1; inhibited = false; writable = true };
   Tlb.insert t { Tlb.vpn = 2; rpn = 2; inhibited = false; writable = true };
   Alcotest.(check int) "only one entry" 1 (Tlb.occupancy t);

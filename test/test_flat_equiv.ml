@@ -122,7 +122,7 @@ let prop_tlb_matches_reference =
        ~print:(fun l -> String.concat "; " (List.map op_print l))
        (QCheck.Gen.list_size (QCheck.Gen.int_range 1 120) op_gen))
     (fun ops ->
-      let flat = Tlb.create ~sets:4 ~ways:2 in
+      let flat = Tlb.create ~sets:4 ~ways:2 () in
       let reference = Ref_tlb.create ~sets:4 ~ways:2 in
       List.for_all
         (fun op ->
@@ -147,8 +147,8 @@ let prop_insert_flat_matches_insert_replacing =
        ~print:(fun l -> String.concat "; " (List.map op_print l))
        (QCheck.Gen.list_size (QCheck.Gen.int_range 1 120) op_gen))
     (fun ops ->
-      let a = Tlb.create ~sets:4 ~ways:2 in
-      let b = Tlb.create ~sets:4 ~ways:2 in
+      let a = Tlb.create ~sets:4 ~ways:2 () in
+      let b = Tlb.create ~sets:4 ~ways:2 () in
       List.for_all
         (fun op ->
           match op with
@@ -171,7 +171,7 @@ let prop_insert_flat_matches_insert_replacing =
 
 (* The slot accessors must expose exactly what the entry wrappers see. *)
 let test_slot_accessors () =
-  let t = Tlb.create ~sets:4 ~ways:2 in
+  let t = Tlb.create ~sets:4 ~ways:2 () in
   ignore (Tlb.insert_flat t ~vpn:9 ~rpn:77 ~inhibited:true ~writable:false : int);
   let i = Tlb.peek_slot t 9 in
   Alcotest.(check bool) "hit" true (i >= 0);

@@ -103,10 +103,11 @@ let test_path_constants_sane () =
     (K.syscall_fast < K.syscall_slow);
   Alcotest.(check bool) "fast switch shorter than slow" true
     (K.switch_fast < K.switch_slow);
+  (* the reclaim cadence moved from Kparams into the policy layer *)
   Alcotest.(check bool) "reclaim interval positive" true
-    (K.idle_reclaim_interval > 0);
+    (Kernel_sim.Policy.reclaim_interval_slices > 0);
   Alcotest.(check bool) "reclaim chunk positive" true
-    (K.idle_reclaim_chunk > 0)
+    (Kernel_sim.Policy.reclaim_chunk_ptes > 0)
 
 let suite =
   [ Alcotest.test_case "image regions disjoint" `Quick test_regions_disjoint;

@@ -33,8 +33,10 @@ let () =
       ("sched", Test_sched.suite);
       ("smp", Test_smp.suite);
       ("core", Test_core.suite);
+      ("policy", Test_policy.suite);
       ("harness", Test_harness.suite);
       ("tuning", Test_tuning.suite);
+      ("tuner", Test_tuner.suite);
       ("edges", Test_edges.suite);
       ("flat-equiv", Test_flat_equiv.suite);
       ("reproduction", Test_reproduction.suite) ]

@@ -5,7 +5,7 @@ let entry ?(rpn = 0x100) vpn =
   { Tlb.vpn; rpn; inhibited = false; writable = true }
 
 let test_insert_lookup () =
-  let t = Tlb.create ~sets:32 ~ways:2 in
+  let t = Tlb.create ~sets:32 ~ways:2 () in
   Tlb.insert t (entry 0x1234);
   (match Tlb.lookup t 0x1234 with
   | Some e -> Alcotest.(check int) "rpn" 0x100 e.Tlb.rpn
@@ -13,7 +13,7 @@ let test_insert_lookup () =
   Alcotest.(check bool) "other vpn misses" true (Tlb.lookup t 0x1235 = None)
 
 let test_update_in_place () =
-  let t = Tlb.create ~sets:32 ~ways:2 in
+  let t = Tlb.create ~sets:32 ~ways:2 () in
   Tlb.insert t (entry ~rpn:1 0x40);
   Tlb.insert t (entry ~rpn:2 0x40);
   Alcotest.(check int) "one entry" 1 (Tlb.occupancy t);
@@ -22,7 +22,7 @@ let test_update_in_place () =
   | None -> Alcotest.fail "expected hit"
 
 let test_lru_replacement () =
-  let t = Tlb.create ~sets:1 ~ways:2 in
+  let t = Tlb.create ~sets:1 ~ways:2 () in
   Tlb.insert t (entry ~rpn:1 0x10);
   Tlb.insert t (entry ~rpn:2 0x20);
   (* touch 0x10 so 0x20 is LRU *)
@@ -33,7 +33,7 @@ let test_lru_replacement () =
   Alcotest.(check bool) "0x30 present" true (Tlb.lookup t 0x30 <> None)
 
 let test_invalidate_page () =
-  let t = Tlb.create ~sets:32 ~ways:2 in
+  let t = Tlb.create ~sets:32 ~ways:2 () in
   Tlb.insert t (entry 0x77);
   Tlb.invalidate_page t 0x77;
   Alcotest.(check bool) "gone" true (Tlb.lookup t 0x77 = None);
@@ -41,7 +41,7 @@ let test_invalidate_page () =
   Tlb.invalidate_page t 0x78
 
 let test_invalidate_all () =
-  let t = Tlb.create ~sets:32 ~ways:2 in
+  let t = Tlb.create ~sets:32 ~ways:2 () in
   for i = 0 to 19 do
     Tlb.insert t (entry i)
   done;
@@ -50,7 +50,7 @@ let test_invalidate_all () =
   Alcotest.(check int) "flushed" 0 (Tlb.occupancy t)
 
 let test_peek_no_lru_effect () =
-  let t = Tlb.create ~sets:1 ~ways:2 in
+  let t = Tlb.create ~sets:1 ~ways:2 () in
   Tlb.insert t (entry ~rpn:1 0x10);
   Tlb.insert t (entry ~rpn:2 0x20);
   (* peek at 0x10: must NOT refresh it, so it stays LRU and is evicted *)
@@ -60,7 +60,7 @@ let test_peek_no_lru_effect () =
     (Tlb.lookup t 0x10 = None)
 
 let test_count_matching () =
-  let t = Tlb.create ~sets:32 ~ways:2 in
+  let t = Tlb.create ~sets:32 ~ways:2 () in
   Tlb.insert t (entry ((0xFF lsl 16) lor 1));
   Tlb.insert t (entry ((0xFF lsl 16) lor 2));
   Tlb.insert t (entry ((0x01 lsl 16) lor 3));
@@ -72,15 +72,15 @@ let test_geometry_validation () =
     match f () with exception Invalid_argument _ -> true | _ -> false
   in
   Alcotest.(check bool) "sets must be power of two" true
-    (raises (fun () -> Tlb.create ~sets:33 ~ways:2));
+    (raises (fun () -> Tlb.create ~sets:33 ~ways:2 ()));
   Alcotest.(check bool) "ways positive" true
-    (raises (fun () -> Tlb.create ~sets:32 ~ways:0))
+    (raises (fun () -> Tlb.create ~sets:32 ~ways:0 ()))
 
 let prop_capacity_never_exceeded =
   QCheck.Test.make ~name:"occupancy never exceeds capacity" ~count:100
     QCheck.(list_of_size (Gen.return 300) (int_bound 0xFFFFF))
     (fun vpns ->
-      let t = Tlb.create ~sets:8 ~ways:2 in
+      let t = Tlb.create ~sets:8 ~ways:2 () in
       List.iter (fun vpn -> Tlb.insert t (entry vpn)) vpns;
       Tlb.occupancy t <= Tlb.capacity t)
 
@@ -88,7 +88,7 @@ let prop_insert_then_lookup =
   QCheck.Test.make ~name:"freshly inserted entry is found" ~count:500
     QCheck.(int_bound 0xFFFFFF)
     (fun vpn ->
-      let t = Tlb.create ~sets:32 ~ways:2 in
+      let t = Tlb.create ~sets:32 ~ways:2 () in
       Tlb.insert t (entry vpn);
       Tlb.lookup t vpn <> None)
 
@@ -96,7 +96,7 @@ let prop_iter_consistent =
   QCheck.Test.make ~name:"iter visits exactly occupancy entries" ~count:100
     QCheck.(list_of_size (Gen.return 100) (int_bound 0xFFFF))
     (fun vpns ->
-      let t = Tlb.create ~sets:16 ~ways:2 in
+      let t = Tlb.create ~sets:16 ~ways:2 () in
       List.iter (fun vpn -> Tlb.insert t (entry vpn)) vpns;
       let n = ref 0 in
       Tlb.iter t (fun _ -> incr n);
