@@ -76,9 +76,18 @@ let micro () =
     Test.make ~name:"profile-unit: warm MMU access, profiling on"
       (Staged.stage (fun () -> Kernel.touch k5 Mmu.Load data_base))
   in
+  (* and with the flight recorder sampling, so all three observability
+     layers' armed costs sit side by side *)
+  let k6 = mk_kernel () in
+  Recorder.enable ~every:1_000_000 ~cap:256 (Kernel.recorder k6);
+  Kernel.touch k6 Mmu.Store data_base;
+  let test_rc =
+    Test.make ~name:"recorder-unit: warm MMU access, recording armed"
+      (Staged.stage (fun () -> Kernel.touch k6 Mmu.Load data_base))
+  in
   let grouped =
     Test.make_grouped ~name:"simulator"
-      [ test_t1; test_t2; test_t3; test_tr; test_pr ]
+      [ test_t1; test_t2; test_t3; test_tr; test_pr; test_rc ]
   in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.3) () in

@@ -114,6 +114,15 @@ val ex7 : ?seed:int -> unit -> table
 (** Extra: keystroke wake-to-done latency while a compile runs — the
     interactive-feel measurement, unoptimized vs optimized kernels. *)
 
+val e20 : ?seed:int -> unit -> table
+(** Long horizon (ROADMAP item 3): the fork/exec server driven across
+    the 20-bit context-counter wrap.  The counter is pre-aged
+    ({!Kernel_sim.Kernel.age_address_spaces}) to [ctx_space - requests]
+    ids so the wrap — and its flush-everything escape hatch — fires near
+    the midpoint of the run at any requested length.  Request count
+    comes from {!Workloads.Server.boot_requests} (the [--requests]
+    knob); not part of {!registry}. *)
+
 val d1 : ?seed:int -> unit -> table
 (** Diagnostic: fork/COW/exec flush stress.  Concentrates the
     translation sequences a skipped TLB invalidate corrupts under the
@@ -143,16 +152,23 @@ val diagnostics : spec list
 (** Diagnostic workloads ({!d1}): runnable by name, excluded from
     default sweeps so results documents and baselines are unchanged. *)
 
+val long_horizon : spec list
+(** Long-horizon runs ({!e20}): runnable by name, excluded from default
+    sweeps and baselines — their request counts come from the
+    [--requests] knob, so their tables are only comparable at a stated
+    count. *)
+
 val check_unique : spec list -> unit
 (** Reject duplicate experiment ids (case-insensitively, since {!find}
-    is case-insensitive).  Runs over [registry @ diagnostics] at module
-    load, so a drafting slip like the historical E15-E17 double-booking
-    fails the build instead of silently shadowing an experiment.
+    is case-insensitive).  Runs over
+    [registry @ diagnostics @ long_horizon] at module load, so a
+    drafting slip like the historical E15-E17 double-booking fails the
+    build instead of silently shadowing an experiment.
     @raise Invalid_argument naming both colliding ids. *)
 
 val find : string -> spec option
-(** Look up by id, case-insensitively, in {!registry} then
-    {!diagnostics}. *)
+(** Look up by id, case-insensitively, in {!registry}, {!diagnostics}
+    then {!long_horizon}. *)
 
 val all : (string * (?seed:int -> unit -> table)) list
 (** [registry] as (id, run) pairs — the shape the bench harness and the

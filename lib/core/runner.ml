@@ -178,6 +178,18 @@ let min_jobs = 1
 let max_jobs = 16
 let clamp_jobs n = max min_jobs (min n max_jobs)
 
+(* Observation layers whose data lives in the booting process (traces,
+   profilers, shadow checkers) and multi-CPU kernels cannot cross the
+   result pipe, so those runs must stay serial.  The CLI asks here which
+   of the user's requests forced that, so a --jobs downgrade is never
+   silent. *)
+let serial_forcers ~tracing ~profiled ~shadow ~cpus =
+  List.concat
+    [ (if tracing then [ "--trace/--timeline" ] else []);
+      (if profiled then [ "--profile" ] else []);
+      (if shadow then [ "--shadow" ] else []);
+      (if cpus > 1 then [ "--cpus" ] else []) ]
+
 (* First line of [cmd]'s output parsed as a positive int, if any. *)
 let probe_int cmd =
   match Unix.open_process_in (cmd ^ " 2>/dev/null") with

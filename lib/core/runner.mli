@@ -121,6 +121,16 @@ val clamp_jobs : int -> int
     authority on worker-count bounds ([run] additionally never forks
     more workers than it has experiments). *)
 
+val serial_forcers :
+  tracing:bool -> profiled:bool -> shadow:bool -> cpus:int -> string list
+(** Which of the caller's requests force a serial ([jobs = 1]) run —
+    observation layers whose data lives in the booting process and
+    multi-CPU kernels can't ship their state over the result pipe.
+    Returns the forcing CLI flag names (["--trace/--timeline"],
+    ["--profile"], ["--shadow"], ["--cpus"]), empty when any job count
+    is fine.  The CLI warns (errors under [--strict]) instead of
+    silently downgrading [--jobs]. *)
+
 val fault_env : string
 (** ["MMU_SIM_FAULT"] — deterministic fault injection for testing the
     supervision paths.  Comma-separated [kind:id] entries, applied at

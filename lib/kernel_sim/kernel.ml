@@ -53,6 +53,13 @@ let rng t = t.k_rng
 let trace t = Memsys.trace t.k_memsys
 let profile t = Memsys.profile t.k_memsys
 let span t = Memsys.span t.k_memsys
+let recorder t = Memsys.recorder t.k_memsys
+
+(* Long-horizon aging (ROADMAP item 3): advance the VSID context counter
+   as if [contexts] address spaces had already come and gone, so a run
+   of feasible length still crosses the 20-bit wrap the paper
+   hand-waves.  Delegates to the allocator; O(1), observation-safe. *)
+let age_address_spaces t ~contexts = Vsid_alloc.age t.k_vsid ~contexts
 let cycles t = t.k_perf.Perf.cycles
 let us t = Cost.us_of_cycles ~mhz:t.k_machine.Machine.mhz (cycles t)
 let tasks t = t.k_tasks

@@ -95,6 +95,21 @@ val span : t -> Span.t
     armed process-wide spans starts enabled and registered for the
     driver to drain. *)
 
+val recorder : t -> Recorder.t
+(** The flight recorder attached to this kernel's memory system —
+    shorthand for [Memsys.recorder (memsys t)].  Gauge sources (htab,
+    TLB census, per-CPU miss slices, run queues, span percentiles) are
+    installed by their owning subsystems at boot; like Trace and
+    Profile, a recorder created while {!Ppc.Recorder.set_boot_defaults}
+    has armed process-wide recording starts enabled and registered for
+    the driver to drain. *)
+
+val age_address_spaces : t -> contexts:int -> unit
+(** Advance the VSID context counter as if [contexts] address spaces had
+    already come and gone (see {!Vsid_alloc.age}) — the long-horizon
+    aging shim that lets a feasible-length run cross the 20-bit context
+    wrap.  O(1); charges nothing. *)
+
 val memsys : t -> Memsys.t
 val mmu : t -> Mmu.t
 

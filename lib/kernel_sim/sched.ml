@@ -18,10 +18,24 @@ type t = {
   mutable next_enroll : int;
 }
 
+let runnable_count q now =
+  List.length
+    (List.filter (fun e -> (not e.finished) && e.wake_at <= now) q)
+
 let create kernel =
-  { kernel;
-    queues = Array.make (Kernel.cpus kernel) [];
-    next_enroll = 0 }
+  let t =
+    { kernel;
+      queues = Array.make (Kernel.cpus kernel) [];
+      next_enroll = 0 }
+  in
+  (* Per-CPU run-queue depths as a flight-recorder gauge.  Re-installing
+     under the same name re-points the gauge at the newest scheduler, so
+     a workload that builds several in sequence always samples the live
+     one. *)
+  Ppc.Recorder.add_source (Kernel.recorder kernel) ~name:"runq" (fun () ->
+      let now = Kernel.cycles kernel in
+      Array.map (fun q -> runnable_count q now) t.queues);
+  t
 
 let add t task step =
   let cpu = t.next_enroll mod Array.length t.queues in
@@ -49,10 +63,6 @@ let next_wake t =
     None t.queues
 
 let same_task a b = a.Task.pid = b.Task.pid
-
-let runnable_count q now =
-  List.length
-    (List.filter (fun e -> (not e.finished) && e.wake_at <= now) q)
 
 let first_runnable q now =
   List.find_opt (fun e -> (not e.finished) && e.wake_at <= now) q

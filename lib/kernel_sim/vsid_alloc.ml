@@ -186,3 +186,14 @@ let live_contexts t =
 let unsafe_set_next t n =
   if n < 1 then invalid_arg "Vsid_alloc.unsafe_set_next";
   t.next <- n
+
+(* Long-horizon aging: advance the counter as if [contexts] short-lived
+   address spaces had come and gone before the measured run, without
+   simulating them — O(1), no charges, no liveness changes.  Clamped to
+   just below the wrap point so the wrap itself (and its escape hatch)
+   still fires on a real allocation, exactly as it would have. *)
+let age t ~contexts =
+  if contexts < 0 then invalid_arg "Vsid_alloc.age";
+  match t.src with
+  | Pid_based -> invalid_arg "Vsid_alloc.age: Context_counter only"
+  | Context_counter -> t.next <- min (ctx_space - 1) (t.next + contexts)

@@ -108,6 +108,16 @@ val unsafe_set_next : t -> int -> unit
     test reaches the wrap cheaply).
     @raise Invalid_argument for values below 1. *)
 
+val age : t -> contexts:int -> unit
+(** [age t ~contexts] advances the context counter as if [contexts]
+    short-lived address spaces had come and gone before the measured
+    run — the long-horizon aging shim behind the E20 wrap-stress
+    experiment.  O(1), charges nothing, marks nothing live; clamped to
+    just below {!ctx_space} so the wrap (and its escape hatch) fires on
+    a real allocation.
+    @raise Invalid_argument for negative counts or a [Pid_based]
+    allocator. *)
+
 val test_unsafe_no_wrap : bool ref
 (** When set, [Context_counter] reverts to the pre-fix behavior: no
     wrap, no liveness check — ctx and ctx + 2^20 silently share VSIDs.

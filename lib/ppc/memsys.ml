@@ -4,17 +4,66 @@ type t = {
   trace : Trace.t;
   profile : Profile.t;
   span : Span.t;
+  recorder : Recorder.t;
   icache : Cache.t;
   dcache : Cache.t;
   mutable idle : bool;
 }
 
 let create ~machine ~perf =
+  let span = Span.create ~perf in
+  let recorder = Recorder.create ~perf in
+  let profile = Profile.create ~perf in
+  (* Span percentiles-so-far as a recorder gauge: completed requests and
+     the running p50/p99 latency.  All zeros outside server workloads. *)
+  Recorder.add_source recorder ~name:"span" (fun () ->
+      let h = Span.hist_latency span in
+      [| Span.completed span;
+         Hist.percentile h 0.50;
+         Hist.percentile h 0.99 |]);
+  (* Profiler attribution snapshot: the top accounts by reload cost,
+     flattened at stride 5 (pid, seg, kind, count, cost) so incident
+     records can say who owned the misses.  Empty until profiling is
+     armed alongside recording. *)
+  Recorder.add_source recorder ~name:"attribution" (fun () ->
+      if not (Profile.enabled profile) then [||]
+      else begin
+        let rows =
+          List.sort
+            (fun a b ->
+              compare b.Profile.r_cost a.Profile.r_cost)
+            (Profile.attribution profile)
+        in
+        let top = ref [] and n = ref 0 in
+        List.iter
+          (fun r ->
+            if !n < 8 then begin
+              incr n;
+              top := r :: !top
+            end)
+          rows;
+        let a = Array.make (!n * 5) 0 in
+        List.iteri
+          (fun i r ->
+            let b = (!n - 1 - i) * 5 in
+            a.(b) <- r.Profile.r_pid;
+            a.(b + 1) <- r.Profile.r_seg;
+            a.(b + 2) <-
+              (match r.Profile.r_kind with
+              | Profile.Itlb -> 0
+              | Profile.Dtlb -> 1
+              | Profile.Htab_miss -> 2);
+            a.(b + 3) <- r.Profile.r_count;
+            a.(b + 4) <- r.Profile.r_cost)
+          !top;
+        a
+      end);
   { machine;
     perf;
     trace = Trace.create ~perf;
-    profile = Profile.create ~perf;
-    span = Span.create ~perf;
+    profile;
+    span;
+    recorder;
     icache =
       Cache.create ~bytes:machine.Machine.icache.Machine.cache_bytes
         ~ways:machine.Machine.icache.Machine.cache_ways;
@@ -28,6 +77,7 @@ let perf t = t.perf
 let trace t = t.trace
 let profile t = t.profile
 let span t = t.span
+let recorder t = t.recorder
 let icache t = t.icache
 let dcache t = t.dcache
 
@@ -44,7 +94,10 @@ let charge t cycles =
   (* htab occupancy sampler, same Perf-timeline cadence discipline: one
      integer compare while profiling is off *)
   if t.perf.Perf.cycles >= t.profile.Profile.next_sample then
-    Profile.take_sample t.profile
+    Profile.take_sample t.profile;
+  (* flight recorder, same discipline again *)
+  if t.perf.Perf.cycles >= t.recorder.Recorder.next_sample then
+    Recorder.take_sample t.recorder
 
 (* A write-back of a dirty victim is a posted store: it overlaps with
    execution, so we charge half the memory latency. *)
@@ -118,6 +171,7 @@ let stall t n = charge t n
 let sampling t =
   t.trace.Trace.next_sample <> max_int
   || t.profile.Profile.next_sample <> max_int
+  || t.recorder.Recorder.next_sample <> max_int
 
 (* One fused trap charge: counters end up identical to
    [stall t stall; instructions t instr], with a single sampler check

@@ -33,6 +33,13 @@ val span : t -> Span.t
     Event-driven, not cadence-driven: the charge path never checks it,
     so the disabled cost is the flag check at each instrumented site. *)
 
+val recorder : t -> Recorder.t
+(** The machine's flight recorder (disabled until [Recorder.enable]).
+    Cycle charges check its sampling deadline on the same cadence
+    discipline as the trace timeline; the "span" gauge (completed
+    requests, running p50/p99 latency) is pre-installed here, the
+    machine-shape gauges (htab, TLB, run queues) by their owners. *)
+
 val icache : t -> Cache.t
 val dcache : t -> Cache.t
 
@@ -74,7 +81,7 @@ val stall : t -> int -> unit
     costs). *)
 
 val sampling : t -> bool
-(** Whether either timeline sampler (trace or profile) is armed.  While
+(** Whether any timeline sampler (trace, profile or recorder) is armed.  While
     true the fused charges below take the historical charge-by-charge
     sequence, so sample timing and contents are byte-identical to the
     unfused calls; counters are identical either way. *)

@@ -239,6 +239,26 @@ let create ?(htab_base_pa = 0x0030_0000) ?(cpus = 1) ~machine ~memsys ~knobs
             h_capacity = Htab.capacity h;
             h_zombie = Htab.count_valid h ~f:(fun p -> t.is_zombie p.Pte.vsid);
             h_chains = Htab.histogram h }));
+  (* Flight-recorder gauges over the same machine state: only ever read
+     inside [Recorder.take_sample], so they cost nothing unarmed. *)
+  let rcd = Memsys.recorder memsys in
+  (match t.htab with
+  | None -> ()
+  | Some h ->
+      Recorder.add_source rcd ~name:"htab" (fun () ->
+          [| Htab.occupancy h;
+             Htab.capacity h;
+             Htab.count_valid h ~f:(fun p -> t.is_zombie p.Pte.vsid) |]);
+      Recorder.add_source rcd ~name:"htab_chains" (fun () ->
+          Htab.histogram h));
+  Recorder.add_source rcd ~name:"tlb" (fun () ->
+      [| tlb_occupancy t;
+         Tlb.capacity t.itlb + Tlb.capacity t.dtlb;
+         kernel_tlb_entries t ~is_kernel_vsid:t.is_kernel_vsid |]);
+  Recorder.add_source rcd ~name:"cpu_itlb" (fun () ->
+      Array.copy t.cpu_itlb_misses);
+  Recorder.add_source rcd ~name:"cpu_dtlb" (fun () ->
+      Array.copy t.cpu_dtlb_misses);
   t
 
 (* --- the reference translator ----------------------------------------- *)

@@ -1,0 +1,129 @@
+(** The flight recorder: bounded-memory streaming telemetry (§5.2's
+    watch-it-while-it-runs loop as infrastructure).
+
+    Snapshots the full observability state — a {!Perf.snapshot} plus a
+    set of named integer gauge vectors installed by the subsystems that
+    own them (htab occupancy/chains, TLB census, per-CPU miss slices,
+    run-queue depths, span percentiles-so-far) — every [every] simulated
+    cycles.
+
+    Zero-cost when disabled: [next_sample] is [max_int], so the
+    per-charge cost in {!Memsys.charge} is one integer compare.
+    Observation-only when armed: no cycles charged, no RNG draws, so
+    counters are byte-identical to an unrecorded run at the same seed.
+    Memory-bounded: at most [cap] samples are retained; on overflow the
+    recorder deterministically decimates (keeps every other sample,
+    doubles the cadence), so arbitrarily long runs self-coarsen instead
+    of growing.  Streaming consumers that want every sample at the
+    original cadence hook {!set_on_sample}. *)
+
+type sample = {
+  s_cycle : int;  (** [Perf.cycles] when the sample fired *)
+  s_perf : Perf.t;  (** immutable counter snapshot *)
+  s_gauges : (string * int array) list;
+      (** gauge vectors in source-installation order; arrays owned by
+          the sample *)
+}
+
+type t = {
+  perf : Perf.t;
+  mutable next_sample : int;
+      (** absolute cycle of the next sample; [max_int] = disabled.  Read
+          directly by [Memsys.charge] — the one-int-compare contract. *)
+  mutable every : int;
+  mutable cap : int;
+  mutable label : string;
+  run_id : int;
+  mutable sources : (string * (unit -> int array)) list;
+  mutable samples : sample array;
+  mutable len : int;
+  mutable total : int;
+  mutable on_sample : (t -> sample -> unit) option;
+}
+
+val default_every : int
+val default_cap : int
+
+(** {1 Lifecycle} *)
+
+val create : perf:Perf.t -> t
+(** Disabled unless {!set_boot_defaults} armed recording process-wide,
+    in which case the new recorder starts enabled, registers itself for
+    {!drain_registered}, and is passed to the {!set_boot_attach} hook. *)
+
+val enable : ?every:int -> ?cap:int -> t -> unit
+(** Start sampling every [every] simulated cycles, retaining at most
+    [cap] samples (decimating beyond).  Resets retained samples.
+    @raise Invalid_argument if [every < 1] or [cap < 2]. *)
+
+val disable : t -> unit
+val enabled : t -> bool
+
+val set_label : t -> string -> unit
+(** Which configuration this recorder watched (e.g. the experiment
+    config name); carried into the timeline stream. *)
+
+val label : t -> string
+
+val run_id : t -> int
+(** Process-unique id distinguishing interleaved recorders in one
+    timeline file. *)
+
+val every : t -> int
+(** Current cadence — doubles each time the retained stream decimates. *)
+
+val cap : t -> int
+
+val set_on_sample : t -> (t -> sample -> unit) -> unit
+(** Called after every sample is taken (before any decimation of later
+    samples), with the recorder and the fresh sample — the streaming
+    hook.  Must not charge cycles or touch simulator state. *)
+
+(** {1 Gauge sources} *)
+
+val add_source : t -> name:string -> (unit -> int array) -> unit
+(** Install a named gauge vector; called only inside {!take_sample}, so
+    arbitrarily expensive sources cost nothing until armed.
+    Re-installing an existing name replaces the source in place without
+    disturbing the gauge order. *)
+
+val source_names : t -> string list
+
+(** {1 Sampling} *)
+
+val take_sample : t -> unit
+(** Snapshot now and schedule the next sample.  Called by
+    [Memsys.charge] when [Perf.cycles] crosses [next_sample]. *)
+
+(** {1 Inspection} *)
+
+val length : t -> int
+(** Samples currently retained (<= [cap]). *)
+
+val total : t -> int
+(** Samples ever taken, including ones decimated away. *)
+
+val sample : t -> int -> sample
+(** @raise Invalid_argument out of range. *)
+
+val samples : t -> sample list
+val iter : t -> (sample -> unit) -> unit
+
+(** {1 Process-wide boot defaults}
+
+    The Trace/Profile/Span/Shadow registry discipline, for drivers that
+    cannot reach the kernels being booted (the experiment registry boots
+    its own).  Forked workers inherit the armed globals, so recording
+    works under the supervised parallel Runner. *)
+
+val set_boot_defaults : ?every:int -> ?cap:int -> enabled:bool -> unit -> unit
+val boot_enabled : unit -> bool
+
+val set_boot_attach : (t -> unit) option -> unit
+(** Hook run on every boot-armed recorder at creation: how the Flight
+    streaming/detector layer (which lives above Ppc) attaches its
+    [on_sample] consumers without Ppc depending on it. *)
+
+val drain_registered : unit -> t list
+(** Boot-armed recorders created since the last drain, in creation
+    order. *)

@@ -49,6 +49,18 @@ let default_params =
     worker_requests = 32;
     mix = [| 5; 2; 2; 1 |] }
 
+(* Process-wide request-count default for drivers that cannot reach the
+   params record (the experiment registry builds its own): the --requests
+   knob.  200 — the historical hardcoded count — keeps the committed
+   baselines byte-identical. *)
+let boot_requests_default = ref default_params.requests
+
+let set_boot_requests n =
+  if n < 1 then invalid_arg "Server.set_boot_requests: requests must be >= 1";
+  boot_requests_default := n
+
+let boot_requests () = !boot_requests_default
+
 type result = {
   perf : Perf.t;
   wall_us : float;
@@ -244,6 +256,10 @@ let measure ~machine ~policy ?(params = default_params) ?(seed = 42) ?label
   let sp = Kernel.span k in
   if Span.enabled sp then
     Span.set_label sp
+      (match label with Some l -> l | None -> model_name params.model);
+  let rcd = Kernel.recorder k in
+  if Recorder.enabled rcd then
+    Recorder.set_label rcd
       (match label with Some l -> l | None -> model_name params.model);
   let before = Perf.snapshot (Kernel.perf k) in
   let hist, kind_hists = run k ~params in

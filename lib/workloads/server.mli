@@ -57,6 +57,15 @@ type params = {
 
 val default_params : params
 
+val set_boot_requests : int -> unit
+(** Process-wide request-count default for drivers that cannot reach the
+    params record (the experiment registry builds its own) — the CLI's
+    [--requests] knob.  The default, 200, keeps the committed baselines
+    byte-identical.  Forked runner workers inherit the armed value.
+    @raise Invalid_argument below 1. *)
+
+val boot_requests : unit -> int
+
 type result = {
   perf : Ppc.Perf.t;
   wall_us : float;

@@ -61,10 +61,31 @@ let test_metrics () =
     (Metrics.occupancy_pct ~occupancy:12288 ~capacity:16384)
 
 let test_metrics_zero_denominators () =
+  (* every ratio over a freshly-created (all-zero) Perf.t is 0.0 — a
+     run that never touched a subsystem reports zero, not NaN *)
   let p = Perf.create () in
   Alcotest.(check (float 1e-9)) "no lookups" 0.0 (Metrics.tlb_miss_rate p);
   Alcotest.(check (float 1e-9)) "no searches" 0.0 (Metrics.htab_hit_rate p);
-  Alcotest.(check (float 1e-9)) "no reloads" 0.0 (Metrics.evict_ratio p)
+  Alcotest.(check (float 1e-9)) "no reloads" 0.0 (Metrics.evict_ratio p);
+  Alcotest.(check (float 1e-9)) "no dcache accesses" 0.0
+    (Metrics.dcache_miss_rate p);
+  Alcotest.(check (float 1e-9)) "no icache accesses" 0.0
+    (Metrics.icache_miss_rate p);
+  Alcotest.(check (float 1e-9)) "no cycles" 0.0 (Metrics.idle_fraction p);
+  Alcotest.(check (float 1e-9)) "zero-capacity htab" 0.0
+    (Metrics.occupancy_pct ~occupancy:0 ~capacity:0);
+  Alcotest.(check (float 1e-9)) "pct change from zero" 0.0
+    (Metrics.pct_change ~from_v:0.0 ~to_v:5.0);
+  Alcotest.(check bool) "speedup against zero is infinite" true
+    (Metrics.speedup ~from_v:1.0 ~to_v:0.0 = infinity)
+
+let test_empty_hist_degenerate () =
+  let h = Hist.create () in
+  Alcotest.(check int) "empty percentile is 0" 0 (Hist.percentile h 0.99);
+  Alcotest.(check (float 1e-9)) "empty interpolated percentile is 0" 0.0
+    (Hist.percentile_interpolated h 0.99);
+  Alcotest.(check int) "empty count" 0 (Hist.count h);
+  Alcotest.(check int) "empty max" 0 (Hist.max_value h)
 
 let test_report_formats () =
   Alcotest.(check string) "int separators" "219,000,000"
@@ -244,6 +265,8 @@ let suite =
     Alcotest.test_case "metrics" `Quick test_metrics;
     Alcotest.test_case "metrics zero denominators" `Quick
       test_metrics_zero_denominators;
+    Alcotest.test_case "empty hist degenerate" `Quick
+      test_empty_hist_degenerate;
     Alcotest.test_case "report formats" `Quick test_report_formats;
     Alcotest.test_case "system snapshot" `Quick test_system_snapshot;
     Alcotest.test_case "all presets boot and run" `Quick

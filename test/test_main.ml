@@ -31,6 +31,8 @@ let () =
       ("features", Test_features.suite);
       ("workloads", Test_workloads.suite);
       ("sched", Test_sched.suite);
+      ("recorder", Test_recorder.suite);
+      ("flight", Test_flight.suite);
       ("smp", Test_smp.suite);
       ("core", Test_core.suite);
       ("policy", Test_policy.suite);
